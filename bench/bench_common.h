@@ -1,0 +1,35 @@
+// Shared helpers for the figure-regeneration benches: consistent headers,
+// paper-vs-measured rows, and environment-controlled run counts.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace insomnia::bench {
+
+/// Prints the standard banner for one regenerated artefact.
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "==============================================================\n"
+            << id << " — " << title << "\n"
+            << "==============================================================\n";
+}
+
+/// Prints one "paper vs measured" comparison line.
+inline void compare(const std::string& what, const std::string& paper,
+                    const std::string& measured) {
+  std::cout << "  " << what << ": paper " << paper << " | measured " << measured << "\n";
+}
+
+inline std::string pct(double fraction, int decimals = 1) {
+  return util::format_percent(fraction, decimals);
+}
+
+inline std::string num(double value, int decimals = 2) {
+  return util::format_fixed(value, decimals);
+}
+
+}  // namespace insomnia::bench

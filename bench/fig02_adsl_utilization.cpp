@@ -1,0 +1,43 @@
+// Regenerates Fig. 2: daily average and median utilization of the access
+// links of a 10 K-subscriber residential ADSL population (synthesised; the
+// paper's commercial dataset is proprietary).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/random.h"
+#include "trace/adsl_utilization.h"
+
+int main() {
+  using namespace insomnia;
+  bench::banner("Fig. 2", "daily average and median ADSL link utilization");
+
+  trace::AdslUtilizationConfig config;
+  sim::Random rng(2026);
+  const trace::AdslUtilizationDay day = generate_adsl_utilization(config, rng);
+
+  util::TextTable table;
+  table.set_header({"hour", "down avg %", "down median %", "up avg %", "up median %"});
+  for (int h = 0; h < 24; ++h) {
+    table.add_row({std::to_string(h),
+                   bench::num(day.downlink.average[static_cast<std::size_t>(h)] * 100, 3),
+                   bench::num(day.downlink.median[static_cast<std::size_t>(h)] * 100, 4),
+                   bench::num(day.uplink.average[static_cast<std::size_t>(h)] * 100, 3),
+                   bench::num(day.uplink.median[static_cast<std::size_t>(h)] * 100, 4)});
+  }
+  table.print(std::cout);
+
+  const double peak =
+      *std::max_element(day.downlink.average.begin(), day.downlink.average.end());
+  const double peak_median =
+      *std::max_element(day.downlink.median.begin(), day.downlink.median.end());
+  std::cout << "\n";
+  bench::compare("peak downlink average", "<= 9%", bench::pct(peak));
+  bench::compare("peak downlink median", "~0.01-0.05%", bench::pct(peak_median, 3));
+  bench::compare("shape", "evening peak, early-morning trough",
+                 "peak hour " + std::to_string(static_cast<int>(
+                                    std::max_element(day.downlink.average.begin(),
+                                                     day.downlink.average.end()) -
+                                    day.downlink.average.begin())));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates Fig. 5 (middle and right): probability that line card l of a
+// k-card batch can sleep, for 2-/4-/8-switches with m = 24 modems per card
+// and per-line activity p = 0.5 / 0.25.
+//
+// Three columns per point: the paper's Eq. (2) exactly as published, the
+// corrected binomial-tail formula, and a Monte-Carlo simulation of the
+// packing rule. The published expression omits the binomial coefficients
+// C(k,i); Monte Carlo sides with the corrected formula (see DESIGN.md).
+#include <iostream>
+
+#include "bench_common.h"
+#include "dslam/sleep_model.h"
+#include "sim/random.h"
+
+int main() {
+  using namespace insomnia;
+  bench::banner("Fig. 5", "P{line card l sleeps} under k-switching, m=24");
+
+  sim::Random rng(7);
+  for (double p : {0.5, 0.25}) {
+    std::cout << "\nmodem online probability p = " << p << "\n";
+    for (int k : {2, 4, 8}) {
+      std::cout << "\n  " << k << "-switch\n";
+      util::TextTable table;
+      table.set_header({"card l", "paper Eq.(2)", "exact binomial", "Monte Carlo"});
+      for (int l = 1; l <= k; ++l) {
+        const double paper = dslam::sleep_probability_paper(l, k, 24, p);
+        const double exact = dslam::sleep_probability_exact(l, k, 24, p);
+        const double mc = dslam::sleep_probability_monte_carlo(l, k, 24, p, 40000, rng);
+        table.add_row({std::to_string(l), bench::num(paper, 4), bench::num(exact, 4),
+                       bench::num(mc, 4)});
+      }
+      table.print(std::cout);
+      std::cout << "  expected sleeping cards (exact): "
+                << bench::num(dslam::expected_sleeping_cards(k, 24, p), 3) << " of " << k
+                << "  | full switch: "
+                << bench::num(dslam::full_switch_expected_sleeping_cards(k, 24, p), 3)
+                << "\n";
+    }
+  }
+  std::cout << "\n";
+  bench::compare("shape", "even k=4/8 switches sleep a good number of cards",
+                 "see expected sleeping cards above");
+  return 0;
+}

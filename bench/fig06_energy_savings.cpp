@@ -1,0 +1,57 @@
+// Regenerates Fig. 6: energy savings vs the no-sleep baseline over the day
+// for Optimal, SoI, SoI + k-switch, and BH2 + k-switch.
+//
+// Runs INSOMNIA_RUNS paired simulation days (default 3; the paper uses 10).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiments.h"
+
+int main() {
+  using namespace insomnia;
+  using namespace insomnia::core;
+  bench::banner("Fig. 6", "energy savings vs no-sleep over the day");
+
+  MainExperimentConfig config;
+  config.runs = runs_from_env(3);
+  config.bins = 24;  // hourly resolution
+  config.schemes = {SchemeKind::kSoi, SchemeKind::kSoiKSwitch, SchemeKind::kBh2KSwitch,
+                    SchemeKind::kOptimal};
+  std::cout << "(" << config.runs << " paired runs; set INSOMNIA_RUNS to change)\n\n";
+  const MainExperimentResult result = run_main_experiment(config);
+
+  util::TextTable table;
+  table.set_header({"hour", "Optimal %", "SoI %", "SoI+k-switch %", "BH2+k-switch %"});
+  const auto& optimal = result.outcome(SchemeKind::kOptimal);
+  const auto& soi = result.outcome(SchemeKind::kSoi);
+  const auto& soik = result.outcome(SchemeKind::kSoiKSwitch);
+  const auto& bh2k = result.outcome(SchemeKind::kBh2KSwitch);
+  for (std::size_t bin = 0; bin < config.bins; ++bin) {
+    table.add_row({std::to_string(bin), bench::num(optimal.savings[bin] * 100, 1),
+                   bench::num(soi.savings[bin] * 100, 1),
+                   bench::num(soik.savings[bin] * 100, 1),
+                   bench::num(bh2k.savings[bin] * 100, 1)});
+  }
+  table.print(std::cout);
+
+  // Peak-window (11-19 h) savings for the paper's headline observations.
+  auto window_mean = [&](const SchemeOutcome& o, std::size_t lo, std::size_t hi) {
+    double total = 0.0;
+    for (std::size_t b = lo; b < hi; ++b) total += o.savings[b];
+    return total / static_cast<double>(hi - lo);
+  };
+  std::cout << "\n";
+  bench::compare("Optimal, all day", "consistently ~80%",
+                 bench::pct(optimal.day_savings));
+  bench::compare("SoI during peak hours", "drops below 20%",
+                 bench::pct(window_mean(soi, 11, 19)));
+  bench::compare("SoI+k-switch during peak", "also below 20%",
+                 bench::pct(window_mean(soik, 11, 19)));
+  bench::compare("BH2+k-switch during peak", "at least 50%",
+                 bench::pct(window_mean(bh2k, 11, 19)));
+  bench::compare("BH2+k-switch day average", "66%", bench::pct(bh2k.day_savings));
+  bench::compare("off-peak (2-6 h) schemes", ">60%",
+                 bench::pct(window_mean(soik, 2, 6)) + " (SoI+k), " +
+                     bench::pct(window_mean(bh2k, 2, 6)) + " (BH2+k)");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates Fig. 8: the share of each scheme's total savings contributed
+// by the ISP side (DSLAM modems + line cards), over the day.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiments.h"
+
+int main() {
+  using namespace insomnia;
+  using namespace insomnia::core;
+  bench::banner("Fig. 8", "ISP-side contribution to the total energy savings");
+
+  MainExperimentConfig config;
+  config.runs = runs_from_env(3);
+  config.bins = 24;
+  config.schemes = {SchemeKind::kSoi, SchemeKind::kSoiKSwitch, SchemeKind::kBh2KSwitch,
+                    SchemeKind::kOptimal};
+  std::cout << "(" << config.runs << " paired runs)\n\n";
+  const MainExperimentResult result = run_main_experiment(config);
+
+  const auto& soi = result.outcome(SchemeKind::kSoi);
+  const auto& soik = result.outcome(SchemeKind::kSoiKSwitch);
+  const auto& bh2k = result.outcome(SchemeKind::kBh2KSwitch);
+  const auto& optimal = result.outcome(SchemeKind::kOptimal);
+
+  util::TextTable table;
+  table.set_header({"hour", "Optimal %", "SoI+k-switch %", "BH2+k-switch %", "SoI %"});
+  for (std::size_t bin = 0; bin < config.bins; ++bin) {
+    table.add_row({std::to_string(bin), bench::num(optimal.isp_share[bin] * 100, 1),
+                   bench::num(soik.isp_share[bin] * 100, 1),
+                   bench::num(bh2k.isp_share[bin] * 100, 1),
+                   bench::num(soi.isp_share[bin] * 100, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  bench::compare("Optimal day-average ISP share", "~40%", bench::pct(optimal.day_isp_share));
+  bench::compare("BH2+k-switch day-average ISP share", "~30%", bench::pct(bh2k.day_isp_share));
+  bench::compare("SoI saves little for the ISP at peak", "near zero",
+                 bench::pct(soi.isp_share[15]) + " at 15h");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Regenerates Fig. 9b: CDF of the per-gateway online-time variation of BH2
+// (with and without backup) relative to plain SoI — the fairness picture:
+// who sleeps more, who carries the guests.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiments.h"
+#include "stats/cdf.h"
+
+int main() {
+  using namespace insomnia;
+  using namespace insomnia::core;
+  bench::banner("Fig. 9b", "CDF of gateway online-time variation vs SoI");
+
+  MainExperimentConfig config;
+  config.runs = runs_from_env(3);
+  // SoI must be listed before the BH2 schemes (it is the reference).
+  config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch,
+                    SchemeKind::kBh2NoBackupKSwitch};
+  std::cout << "(" << config.runs << " paired runs)\n\n";
+  const MainExperimentResult result = run_main_experiment(config);
+
+  const auto& bh2 = result.outcome(SchemeKind::kBh2KSwitch).online_time_variation;
+  const auto& bh2nb = result.outcome(SchemeKind::kBh2NoBackupKSwitch).online_time_variation;
+
+  const stats::EmpiricalCdf cdf_bh2(bh2);
+  const stats::EmpiricalCdf cdf_nb(bh2nb);
+
+  util::TextTable table;
+  table.set_header({"variation x", "BH2 CDF", "BH2 w/o backup CDF"});
+  for (double x : {-1.0, -0.75, -0.5, -0.25, 0.0, 0.25, 0.5, 1.0}) {
+    table.add_row({bench::pct(x, 0), bench::num(cdf_bh2.fraction_at_or_below(x), 3),
+                   bench::num(cdf_nb.fraction_at_or_below(x), 3)});
+  }
+  table.print(std::cout);
+
+  const double always_asleep = cdf_bh2.fraction_at_or_below(-0.999);
+  const double increased = 1.0 - cdf_bh2.fraction_at_or_below(1e-9);
+  const double nb_always_asleep = cdf_nb.fraction_at_or_below(-0.999);
+  const double nb_increased = 1.0 - cdf_nb.fraction_at_or_below(1e-9);
+
+  std::cout << "\n";
+  bench::compare("gateways with -100% online time under BH2", "~25%",
+                 bench::pct(always_asleep));
+  bench::compare("gateways online longer under BH2", "~14%", bench::pct(increased));
+  bench::compare("w/o backup is less fair", "more extremes",
+                 bench::pct(nb_always_asleep) + " fully asleep, " + bench::pct(nb_increased) +
+                     " increased");
+  return 0;
+}

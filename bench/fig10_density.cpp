@@ -1,0 +1,37 @@
+// Regenerates Fig. 10: the effect of wireless gateway density on BH2's
+// aggregation — mean number of online gateways during peak hours (11-19 h)
+// vs the mean number of gateways a user can connect to (binomial
+// connectivity matrices, as in §5.2.5).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiments.h"
+
+int main() {
+  using namespace insomnia;
+  using namespace insomnia::core;
+  bench::banner("Fig. 10", "impact of gateway density on aggregation");
+
+  ScenarioConfig scenario;
+  const int runs = runs_from_env(2);
+  std::cout << "(" << runs << " runs per density level)\n\n";
+  const std::vector<double> densities{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto points = run_density_sweep(scenario, densities, runs, 2026);
+
+  util::TextTable table;
+  table.set_header({"mean available gateways", "mean online gateways (peak)"});
+  for (const auto& point : points) {
+    table.add_row({bench::num(point.mean_available_gateways, 0),
+                   bench::num(point.mean_online_gateways, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  bench::compare("home-only (density 1)", "~29-30 online",
+                 bench::num(points.front().mean_online_gateways, 1));
+  bench::compare("two gateways available", "~19 online (35% fewer)",
+                 bench::num(points[1].mean_online_gateways, 1));
+  bench::compare("monotone decrease with density", "yes",
+                 bench::num(points.back().mean_online_gateways, 1) + " at density 10");
+  return 0;
+}

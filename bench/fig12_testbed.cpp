@@ -1,0 +1,39 @@
+// Regenerates Fig. 12: the live-testbed experiment — 9 gateways on 3 Mbps
+// ADSL lines, one BH2 terminal per gateway each replaying the traffic of
+// one traced AP, clients limited to 3 gateways in range, 15:00-15:30.
+// Compares the number of online APs under BH2 (no backup, as deployed)
+// against SoI.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiments.h"
+#include "core/testbed.h"
+
+int main() {
+  using namespace insomnia;
+  using namespace insomnia::core;
+  bench::banner("Fig. 12", "testbed replay: online APs, 15:00-15:30");
+
+  TestbedConfig config;
+  config.runs = runs_from_env(10);
+  std::cout << "(" << config.runs << " randomised replays)\n\n";
+  const TestbedResult result = run_testbed_emulation(config);
+
+  util::TextTable table;
+  table.set_header({"minute", "SoI online APs", "BH2 online APs"});
+  for (std::size_t minute = 0; minute < result.soi_online.size(); ++minute) {
+    table.add_row({std::to_string(minute + 1), bench::num(result.soi_online[minute], 2),
+                   bench::num(result.bh2_online[minute], 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  bench::compare("BH2 average sleeping APs (of 9)", "5.46 (60%)",
+                 bench::num(result.bh2_mean_sleeping, 2));
+  bench::compare("SoI average sleeping APs (of 9)", "3.72 (41%)",
+                 bench::num(result.soi_mean_sleeping, 2));
+  bench::compare("BH2 consistently below SoI", "yes",
+                 bench::num(result.bh2_mean_online, 2) + " vs " +
+                     bench::num(result.soi_mean_online, 2) + " online");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Regenerates Fig. 14: average per-line sync-rate speedup as lines in a
+// 24-pair binder are powered off, for the four configurations (62/30 Mbps
+// plans x mixed/fixed loop lengths), with the §6.2 methodology (5 random
+// orders, each measured twice; error bars from per-sync margin noise).
+#include <iostream>
+
+#include "bench_common.h"
+#include "dsl/crosstalk_experiment.h"
+#include "sim/random.h"
+
+int main() {
+  using namespace insomnia;
+  bench::banner("Fig. 14", "crosstalk bonus: speedup vs number of inactive lines");
+
+  const std::vector<std::string> labels{
+      "62 Mbps plan, loop lengths 50-600 m", "62 Mbps plan, fixed 600 m",
+      "30 Mbps plan, loop lengths 50-600 m", "30 Mbps plan, fixed 600 m"};
+  const std::vector<double> paper_baseline{41.3, 43.7, 27.8, 29.7};
+
+  const auto configs = dsl::fig14_configurations();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    sim::Random rng(900 + i);
+    const auto result = dsl::run_crosstalk_experiment(configs[i], rng);
+    std::cout << "\n" << labels[i] << "\n";
+    bench::compare("baseline (all 24 lines active)",
+                   bench::num(paper_baseline[i], 1) + " Mbps",
+                   bench::num(result.baseline_mean_bps / 1e6, 1) + " Mbps");
+    util::TextTable table;
+    table.set_header({"inactive lines", "avg speedup %", "stddev %"});
+    for (const auto& point : result.points) {
+      table.add_row({std::to_string(point.inactive_lines),
+                     bench::num(point.mean_speedup * 100, 2),
+                     bench::num(point.stddev_speedup * 100, 2)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n";
+  bench::compare("62 Mbps early slope", "1.1-1.2% per inactive line", "see tables");
+  bench::compare("62 Mbps, half the lines off", "~13.6%", "row 'inactive 12'");
+  bench::compare("62 Mbps, 75% off", "~25%", "row 'inactive 20' (fixed 600 m)");
+  return 0;
+}

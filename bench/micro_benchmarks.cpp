@@ -1,0 +1,139 @@
+// google-benchmark micro-benchmarks for the library's hot paths: the fluid
+// data plane, the event queue, BH2 decisions, the DSL bit-loader, and the
+// cover solver. These guard the simulator's throughput (a full evaluation
+// replays ~10^6 flow events per simulated day).
+#include <benchmark/benchmark.h>
+
+#include "bh2/algorithm.h"
+#include "dsl/bitloading.h"
+#include "dsl/crosstalk.h"
+#include "dslam/dslam.h"
+#include "flow/fluid_network.h"
+#include "flow/max_min.h"
+#include "opt/gateway_cover.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "stats/timeseries.h"
+
+namespace {
+
+using namespace insomnia;
+
+void BM_MaxMinAllocate(benchmark::State& state) {
+  sim::Random rng(1);
+  std::vector<double> caps;
+  for (int i = 0; i < state.range(0); ++i) caps.push_back(rng.uniform(0.1, 10.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::max_min_allocate(6.0, caps));
+  }
+}
+BENCHMARK(BM_MaxMinAllocate)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < state.range(0); ++i) {
+      queue.schedule(static_cast<double>(i % 97), [] {});
+    }
+    while (!queue.empty()) queue.run_next();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_FluidNetworkChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    flow::FluidNetwork net(sim, {6e6});
+    net.set_gateway_serving(0, true);
+    const int flows = static_cast<int>(state.range(0));
+    for (int i = 0; i < flows; ++i) {
+      sim.at(i * 0.05, [&net, i] {
+        net.add_flow(static_cast<flow::FlowId>(i), i % 7, 0, 1500.0, 12e6);
+      });
+    }
+    sim.run_until(flows * 0.05 + 10.0);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FluidNetworkChurn)->Arg(1000)->Arg(10000);
+
+void BM_StepSeriesIntegral(benchmark::State& state) {
+  stats::StepSeries series(0.0, 0.0);
+  sim::Random rng(3);
+  double t = 0.0;
+  for (int i = 0; i < state.range(0); ++i) {
+    t += rng.exponential(1.0);
+    series.set(t, rng.uniform(0.0, 10.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(series.integral(t * 0.4, t * 0.6));
+  }
+}
+BENCHMARK(BM_StepSeriesIntegral)->Arg(1000)->Arg(100000);
+
+class BenchObserver : public bh2::GatewayObserver {
+ public:
+  double load(int gateway) const override { return 0.01 * (gateway % 40); }
+  bool is_awake(int gateway) const override { return gateway % 3 != 0; }
+};
+
+void BM_Bh2Decide(benchmark::State& state) {
+  BenchObserver observer;
+  bh2::Bh2Config config;
+  sim::Random rng(5);
+  const std::vector<int> reachable{0, 1, 2, 3, 4, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bh2::decide(0, reachable, 0, observer, config, rng));
+  }
+}
+BENCHMARK(BM_Bh2Decide);
+
+void BM_DslamWakeRemap(benchmark::State& state) {
+  sim::Random rng(7);
+  dslam::DslamConfig config;
+  config.mode = dslam::SwitchMode::kKSwitch;
+  for (auto _ : state) {
+    dslam::Dslam dslam(config, rng);
+    for (int line = 0; line < 48; ++line) dslam.line_activated(line % 48);
+    for (int line = 0; line < 48; line += 2) dslam.line_deactivated(line);
+    benchmark::DoNotOptimize(dslam.awake_card_count());
+  }
+}
+BENCHMARK(BM_DslamWakeRemap);
+
+void BM_SyncLine(benchmark::State& state) {
+  std::vector<dsl::LineConfig> lines;
+  for (int i = 0; i < 24; ++i) lines.push_back({400.0 + i * 5.0, i + 1});
+  const dsl::CrosstalkModel model(lines, dsl::Vdsl2Parameters::profile_17a());
+  std::vector<bool> active(24, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dsl::sync_line(model, 0, active, dsl::ServiceProfile::mbps62()));
+  }
+}
+BENCHMARK(BM_SyncLine);
+
+void BM_GreedyCover(benchmark::State& state) {
+  sim::Random rng(11);
+  opt::GatewayCoverProblem problem;
+  problem.capacity.assign(40, 6e6);
+  for (int u = 0; u < 272; ++u) {
+    opt::UserDemand demand;
+    demand.demand = rng.uniform(1e3, 2e5);
+    for (int g = 0; g < 40; ++g) {
+      if (rng.bernoulli(0.14)) demand.feasible.push_back(g);
+    }
+    if (demand.feasible.empty()) demand.feasible.push_back(rng.uniform_int(0, 39));
+    problem.users.push_back(std::move(demand));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::solve_greedy(problem));
+  }
+}
+BENCHMARK(BM_GreedyCover);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Regenerates the §5.2.3 in-text table: average number of online line cards
+// during peak hours for every scheme/fabric combination —
+//   Optimal: 1, BH2+full: 2, BH2+k: 2.88, SoI+full: 3, SoI+k: 3.74, SoI: 3.99.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiments.h"
+
+int main() {
+  using namespace insomnia;
+  using namespace insomnia::core;
+  bench::banner("Table (§5.2.3)", "average online line cards during peak hours");
+
+  MainExperimentConfig config;
+  config.runs = runs_from_env(3);
+  config.schemes = {SchemeKind::kSoi,           SchemeKind::kSoiKSwitch,
+                    SchemeKind::kSoiFullSwitch, SchemeKind::kBh2KSwitch,
+                    SchemeKind::kBh2FullSwitch, SchemeKind::kOptimal};
+  std::cout << "(" << config.runs << " paired runs)\n\n";
+  const MainExperimentResult result = run_main_experiment(config);
+
+  const std::vector<std::pair<SchemeKind, double>> paper{
+      {SchemeKind::kOptimal, 1.0},       {SchemeKind::kBh2FullSwitch, 2.0},
+      {SchemeKind::kBh2KSwitch, 2.88},   {SchemeKind::kSoiFullSwitch, 3.0},
+      {SchemeKind::kSoiKSwitch, 3.74},   {SchemeKind::kSoi, 3.99}};
+
+  util::TextTable table;
+  table.set_header({"scheme", "paper", "measured (11-19h mean)"});
+  for (const auto& [kind, expected] : paper) {
+    table.add_row({scheme_name(kind), bench::num(expected, 2),
+                   bench::num(result.outcome(kind).peak_online_cards, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  bench::compare("ordering", "Optimal < BH2+full < BH2+k < SoI+full < SoI+k < SoI",
+                 "see table");
+  bench::compare("small switches track full switching", "4-switch close to full",
+                 "compare BH2 rows");
+  return 0;
+}

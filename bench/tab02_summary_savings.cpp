@@ -1,0 +1,40 @@
+// Regenerates the paper's headline summary (§1, §5.4): the 80 % savings
+// margin, BH2+k-switch's 66 % average savings split 2/3 user : 1/3 ISP, and
+// the world-wide extrapolation of ~33 TWh/year (~3 nuclear plants).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiments.h"
+#include "core/extrapolation.h"
+
+int main() {
+  using namespace insomnia;
+  using namespace insomnia::core;
+  bench::banner("Summary (§5.4)", "headline savings and world-wide extrapolation");
+
+  MainExperimentConfig config;
+  config.runs = runs_from_env(3);
+  config.schemes = {SchemeKind::kBh2KSwitch, SchemeKind::kOptimal};
+  std::cout << "(" << config.runs << " paired runs)\n\n";
+  const MainExperimentResult result = run_main_experiment(config);
+
+  const auto& bh2 = result.outcome(SchemeKind::kBh2KSwitch);
+  const auto& optimal = result.outcome(SchemeKind::kOptimal);
+
+  bench::compare("savings margin (Optimal, day avg)", "~80%", bench::pct(optimal.day_savings));
+  bench::compare("BH2 + k-switch (day avg)", "66%", bench::pct(bh2.day_savings));
+  bench::compare("share of savings at the user side", "~2/3",
+                 bench::pct(1.0 - bh2.day_isp_share));
+  bench::compare("share of savings at the ISP side", "~1/3", bench::pct(bh2.day_isp_share));
+  bench::compare("gap to optimal", "within 7-35%",
+                 bench::pct(1.0 - bh2.day_savings / optimal.day_savings));
+
+  WorldExtrapolationConfig world;
+  world.savings_fraction = bh2.day_savings;
+  std::cout << "\nWorld-wide extrapolation (" << bench::num(world.dsl_subscribers / 1e6, 0)
+            << "M DSL subscribers):\n";
+  bench::compare("annual savings", "~33 TWh", bench::num(annual_savings_twh(world), 1) + " TWh");
+  bench::compare("equivalent nuclear plants", "~3",
+                 bench::num(equivalent_nuclear_plants(world), 1));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Explores the DSL physical-layer model directly: builds a 24-pair binder,
+// then shows per-line sync rates as neighbouring lines power off — the
+// §6 "crosstalk bonus" at the API level.
+//
+//   $ ./crosstalk_study [loop_length_m] [plan_mbps]
+#include <cstdlib>
+#include <iostream>
+
+#include "dsl/bitloading.h"
+#include "dsl/crosstalk.h"
+#include "sim/random.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace insomnia;
+
+  const double length = argc > 1 ? std::atof(argv[1]) : 600.0;
+  const double plan_mbps = argc > 2 ? std::atof(argv[2]) : 62.0;
+
+  // 24 equal-length lines on the two binder rings (pair 0 is the unused
+  // centre position).
+  std::vector<dsl::LineConfig> lines;
+  for (int i = 0; i < 24; ++i) lines.push_back({length, i + 1});
+  const dsl::Vdsl2Parameters params = dsl::Vdsl2Parameters::profile_17a();
+  const dsl::CrosstalkModel model(lines, params);
+  const dsl::ServiceProfile profile{"custom plan", plan_mbps * 1e6};
+
+  std::cout << "Binder of 24 lines, " << length << " m loops, " << params.name << ", plan "
+            << plan_mbps << " Mbps\n\n";
+
+  util::TextTable table;
+  table.set_header({"active lines", "victim sync Mbps", "attainable Mbps", "capped"});
+  std::vector<bool> active(24, true);
+  sim::Random rng(1);
+  std::vector<int> order;
+  for (int i = 1; i < 24; ++i) order.push_back(i);  // victim is line 0
+  rng.shuffle(order);
+
+  int remaining = 24;
+  std::size_t next_off = 0;
+  while (true) {
+    const dsl::SyncResult sync = dsl::sync_line(model, 0, active, profile);
+    table.add_row({std::to_string(remaining),
+                   util::format_fixed(sync.sync_rate_bps / 1e6, 2),
+                   util::format_fixed(sync.attainable_rate_bps / 1e6, 2),
+                   sync.capped ? "yes" : "no"});
+    if (remaining <= 4) break;
+    // Power off four more neighbours.
+    for (int i = 0; i < 4 && next_off < order.size(); ++i) {
+      active[static_cast<std::size_t>(order[next_off++])] = false;
+      --remaining;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEach powered-off neighbour removes FEXT noise, so the victim's\n"
+               "bit-loading rises until the service-profile cap binds (§6).\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// ISP-side planning tool: given the line-card size (m modems) and the
+// expected fraction of active lines (p, e.g. what BH2 leaves awake), how
+// big must the HDF k-switches be to put a target share of line cards to
+// sleep? Uses the §4.2 analytic model (corrected binomial form).
+//
+//   $ ./isp_switch_planner [m] [p] [target_share]
+#include <cstdlib>
+#include <iostream>
+
+#include "dslam/sleep_model.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace insomnia;
+
+  const int m = argc > 1 ? std::atoi(argv[1]) : 24;
+  const double p = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const double target = argc > 3 ? std::atof(argv[3]) : 0.30;
+
+  std::cout << "Line cards with m = " << m << " modems; line active probability p = " << p
+            << "; target: sleep " << util::format_percent(target, 0)
+            << " of cards.\n\n";
+
+  util::TextTable table;
+  table.set_header({"k", "expected sleeping cards / k", "share", "meets target"});
+  int recommended = -1;
+  for (int k : {2, 4, 8, 16, 32}) {
+    const double sleeping = dslam::expected_sleeping_cards(k, m, p);
+    const double share = sleeping / k;
+    if (recommended < 0 && share >= target) recommended = k;
+    table.add_row({std::to_string(k), util::format_fixed(sleeping, 2),
+                   util::format_percent(share, 1), share >= target ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  const double full = dslam::full_switch_expected_sleeping_cards(8, m, p) / 8.0;
+  std::cout << "\nfull switching would sleep " << util::format_percent(full, 1)
+            << " of cards (upper bound)\n";
+  if (recommended > 0) {
+    std::cout << "recommendation: k = " << recommended
+              << " (smallest switch meeting the target)\n";
+  } else {
+    std::cout << "no k up to 32 meets the target — lower p first (aggregate harder, e.g."
+                 " deploy BH2) or accept a smaller share.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "bh2/sn_load_estimator.h"
+
+#include "util/error.h"
+
+namespace insomnia::bh2 {
+
+int sequence_delta(int from, int to) {
+  util::require(from >= 0 && from < kSequenceModulus && to >= 0 && to < kSequenceModulus,
+                "sequence numbers must be in [0, 4096)");
+  int delta = to - from;
+  if (delta < 0) delta += kSequenceModulus;
+  return delta;
+}
+
+SnLoadEstimator::SnLoadEstimator(double window, double mean_frame_bytes)
+    : window_(window), mean_frame_bytes_(mean_frame_bytes) {
+  util::require(window > 0.0 && mean_frame_bytes > 0.0,
+                "estimator needs positive window and frame size");
+}
+
+void SnLoadEstimator::observe(double t, int sn) {
+  if (!samples_.empty()) {
+    util::require(t >= samples_.back().time, "observations must move forward in time");
+    const long delta = sequence_delta(samples_.back().sn, sn);
+    samples_.push_back({t, sn, delta});
+    frames_ += delta;
+  } else {
+    samples_.push_back({t, sn, 0});
+  }
+  drop_expired(t);
+}
+
+void SnLoadEstimator::drop_expired(double now) {
+  while (samples_.size() > 1 && samples_.front().time < now - window_) {
+    // The frame count attributed to the second sample covers the interval
+    // from the dropped one; remove it from the running total.
+    frames_ -= samples_[1].frames_since_previous;
+    samples_[1].frames_since_previous = 0;
+    samples_.pop_front();
+  }
+}
+
+double SnLoadEstimator::rate_bps() const {
+  if (samples_.size() < 2) return 0.0;
+  const double span = samples_.back().time - samples_.front().time;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(frames_) * mean_frame_bytes_ * 8.0 / span;
+}
+
+double SnLoadEstimator::utilization(double backhaul_bps) const {
+  util::require(backhaul_bps > 0.0, "utilization needs a positive backhaul rate");
+  const double u = rate_bps() / backhaul_bps;
+  return u > 1.0 ? 1.0 : u;
+}
+
+}  // namespace insomnia::bh2

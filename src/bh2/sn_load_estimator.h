@@ -1,0 +1,57 @@
+// The §3.2 load-estimation trick: every 802.11 frame a gateway transmits
+// carries a 12-bit MAC Sequence Number. A terminal that periodically
+// listens on a gateway's channel can difference the SNs it sees to count
+// how many frames the gateway pushed in between, and hence estimate its
+// backhaul load without associating or exchanging a single byte.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace insomnia::bh2 {
+
+/// 802.11 sequence numbers live in [0, 4096) and wrap.
+inline constexpr int kSequenceModulus = 4096;
+
+/// Streaming estimator of a single gateway's downlink rate from sparse
+/// (time, sequence-number) observations.
+class SnLoadEstimator {
+ public:
+  /// `window` seconds of history back the estimate; `mean_frame_bytes` is
+  /// the assumed average frame size used to convert frames/s to bits/s.
+  SnLoadEstimator(double window, double mean_frame_bytes);
+
+  /// Records that at time `t` the latest frame from the gateway carried
+  /// sequence number `sn` (0..4095). Times must be non-decreasing.
+  void observe(double t, int sn);
+
+  /// Estimated transmit rate in bits/s over the observation window ending
+  /// at the latest sample; 0 with fewer than two samples.
+  double rate_bps() const;
+
+  /// Estimated utilization given the gateway's backhaul speed.
+  double utilization(double backhaul_bps) const;
+
+  /// Frames inferred between the oldest and newest retained samples.
+  long frames_in_window() const { return frames_; }
+
+ private:
+  struct Sample {
+    double time;
+    int sn;
+    long frames_since_previous;
+  };
+
+  void drop_expired(double now);
+
+  double window_;
+  double mean_frame_bytes_;
+  std::deque<Sample> samples_;
+  long frames_ = 0;  ///< sum of frames_since_previous over retained samples
+};
+
+/// Frames elapsed from sequence number `from` to `to`, accounting for
+/// wraparound (result in [0, kSequenceModulus)).
+int sequence_delta(int from, int to);
+
+}  // namespace insomnia::bh2

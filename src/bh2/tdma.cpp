@@ -1,0 +1,37 @@
+#include "bh2/tdma.h"
+
+#include "util/error.h"
+
+namespace insomnia::bh2 {
+
+TdmaSchedule::TdmaSchedule(const TdmaConfig& config, int gateways_in_range)
+    : config_(config), gateways_(gateways_in_range) {
+  util::require(config.period > 0.0, "TDMA period must be positive");
+  util::require(config.primary_share > 0.0 && config.primary_share <= 1.0,
+                "primary share must be in (0,1]");
+  util::require(gateways_in_range >= 1, "need at least one gateway in range");
+}
+
+double TdmaSchedule::primary_share() const {
+  // With a single gateway there is nothing to monitor; the card stays put.
+  return gateways_ == 1 ? 1.0 : config_.primary_share;
+}
+
+double TdmaSchedule::monitor_share() const {
+  if (gateways_ == 1) return 0.0;
+  return (1.0 - config_.primary_share) / static_cast<double>(gateways_ - 1);
+}
+
+double TdmaSchedule::effective_rate(double phy_rate_bps) const {
+  util::require(phy_rate_bps >= 0.0, "PHY rate must be non-negative");
+  return phy_rate_bps * primary_share();
+}
+
+bool TdmaSchedule::can_drain_backhaul(double phy_rate_bps, double backhaul_bps) const {
+  util::require(backhaul_bps > 0.0, "backhaul rate must be positive");
+  return effective_rate(phy_rate_bps) >= backhaul_bps;
+}
+
+double TdmaSchedule::monitor_time_per_cycle() const { return monitor_share() * config_.period; }
+
+}  // namespace insomnia::bh2

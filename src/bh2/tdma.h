@@ -1,0 +1,47 @@
+// The FatVAP/THEMIS-style single-radio virtualisation layer (§3.2/§5.3):
+// one wireless card cycles through the gateways in range using 802.11
+// Power-Save mode as a TDMA mechanism. The paper's deployment devotes 60 %
+// of each 100 ms period to the selected gateway and splits the remainder
+// evenly across the others for load monitoring.
+#pragma once
+
+#include <vector>
+
+namespace insomnia::bh2 {
+
+/// Airtime schedule of one virtualised radio.
+struct TdmaConfig {
+  double period = 0.100;        ///< seconds per TDMA cycle
+  double primary_share = 0.60;  ///< fraction of the cycle on the selected AP
+};
+
+/// Computes per-gateway airtime fractions and achievable rates.
+class TdmaSchedule {
+ public:
+  /// `gateways_in_range` counts every gateway the card is associated with,
+  /// including the selected one (must be >= 1).
+  TdmaSchedule(const TdmaConfig& config, int gateways_in_range);
+
+  /// Airtime fraction on the selected gateway.
+  double primary_share() const;
+
+  /// Airtime fraction spent monitoring each non-selected gateway.
+  double monitor_share() const;
+
+  /// Effective throughput to the selected gateway given the wireless PHY
+  /// rate: phy_rate * primary airtime.
+  double effective_rate(double phy_rate_bps) const;
+
+  /// True if the primary airtime suffices to drain the gateway's backhaul
+  /// (the paper verified 60 % is enough since wireless >> ADSL rates).
+  bool can_drain_backhaul(double phy_rate_bps, double backhaul_bps) const;
+
+  /// Seconds per cycle spent on each monitored gateway.
+  double monitor_time_per_cycle() const;
+
+ private:
+  TdmaConfig config_;
+  int gateways_;
+};
+
+}  // namespace insomnia::bh2

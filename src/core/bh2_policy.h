@@ -1,0 +1,55 @@
+// Runtime integration of Broadband Hitch-Hiking. Each terminal runs the
+// distributed §3.1 algorithm every decision period (with a random offset to
+// avoid synchronisation); new flows follow the current assignment while
+// existing flows finish where they started. Returning home keeps traffic on
+// the remote gateway until the home finishes waking (§5.1).
+#pragma once
+
+#include <vector>
+
+#include "bh2/algorithm.h"
+#include "core/runtime.h"
+
+namespace insomnia::core {
+
+/// BH2 user policy over the shared runtime. The gateway observer is backed
+/// by the simulator's ground truth (equivalent to an ideal SN-counting
+/// estimator; bh2::SnLoadEstimator shows the over-the-air version works).
+class Bh2Policy : public Policy {
+ public:
+  /// `backup` overrides the scenario's bh2.backup (Fig. 7/9 compare 0 / 1).
+  Bh2Policy(int backup);
+
+  void start(AccessRuntime& runtime) override;
+  int route_flow(AccessRuntime& runtime, int client, double bytes) override;
+  void on_gateway_active(AccessRuntime& runtime, int gateway) override;
+
+  /// Current gateway assignment of a client (tests/inspection).
+  int assignment(int client) const { return assignment_.at(static_cast<std::size_t>(client)); }
+
+ private:
+  /// Observer over the runtime's ground truth.
+  class RuntimeObserver : public bh2::GatewayObserver {
+   public:
+    explicit RuntimeObserver(AccessRuntime& runtime) : runtime_(&runtime) {}
+    double load(int gateway) const override { return runtime_->gateway_load(gateway); }
+    bool is_awake(int gateway) const override { return runtime_->gateway_active(gateway); }
+
+   private:
+    AccessRuntime* runtime_;
+  };
+
+  /// Periodic decision for one client; reschedules itself until the trace
+  /// horizon.
+  void decision_epoch(AccessRuntime& runtime, int client);
+
+  /// Applies a §3.1 decision.
+  void apply(AccessRuntime& runtime, int client, const bh2::Decision& decision);
+
+  bh2::Bh2Config config_;
+  int backup_;
+  std::vector<int> assignment_;      ///< gateway carrying new traffic
+  std::vector<bool> pending_home_;   ///< waiting for home to finish waking
+};
+
+}  // namespace insomnia::core

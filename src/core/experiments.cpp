@@ -1,0 +1,226 @@
+#include "core/experiments.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "core/metrics.h"
+#include "sim/random.h"
+#include "stats/timeseries.h"
+#include "trace/synthetic_crawdad.h"
+#include "util/error.h"
+
+namespace insomnia::core {
+
+namespace {
+
+/// Per-scheme energy accumulators used to make run-averaged series
+/// energy-weighted (ratios of summed energies, not means of ratios).
+struct EnergyBins {
+  std::vector<double> user;
+  std::vector<double> isp;
+
+  void accumulate(const RunMetrics& metrics, std::size_t bins) {
+    if (user.empty()) {
+      user.assign(bins, 0.0);
+      isp.assign(bins, 0.0);
+    }
+    const double width = metrics.duration / static_cast<double>(bins);
+    for (std::size_t i = 0; i < bins; ++i) {
+      const double lo = width * static_cast<double>(i);
+      const double hi = (i + 1 == bins) ? metrics.duration : lo + width;
+      user[i] += metrics.user_power.integral(lo, hi);
+      isp[i] += metrics.isp_power.integral(lo, hi);
+    }
+  }
+};
+
+std::uint64_t mix_seed(std::uint64_t seed, int run, int salt) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(run + 1) +
+                    0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(salt + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+}  // namespace
+
+const SchemeOutcome& MainExperimentResult::outcome(SchemeKind kind) const {
+  for (const SchemeOutcome& o : schemes) {
+    if (o.scheme == kind) return o;
+  }
+  throw util::InvalidArgument("scheme not part of this experiment: " + scheme_name(kind));
+}
+
+MainExperimentResult run_main_experiment(const MainExperimentConfig& config) {
+  util::require(config.runs >= 1, "experiment needs at least one run");
+  util::require(config.bins >= 1, "experiment needs at least one bin");
+
+  MainExperimentResult result;
+  result.config = config;
+
+  // The paper evaluates every scheme on one fixed overlap topology.
+  sim::Random topo_rng(mix_seed(config.seed, 0, 7));
+  const topo::AccessTopology topology = topo::make_overlap_topology(
+      config.scenario.client_count, config.scenario.degrees, topo_rng);
+
+  const bool wants_soi =
+      std::find(config.schemes.begin(), config.schemes.end(), SchemeKind::kSoi) !=
+      config.schemes.end();
+
+  // Accumulators per scheme.
+  struct Accumulator {
+    EnergyBins energy;
+    std::vector<std::vector<double>> online_gateways;
+    std::vector<std::vector<double>> online_cards;
+    double peak_gateways = 0.0;
+    double peak_cards = 0.0;
+    double day_user_energy = 0.0;
+    double day_isp_energy = 0.0;
+    double wakes = 0.0;
+    double moves = 0.0;
+    double returns = 0.0;
+    std::vector<double> fct;
+    std::vector<double> fairness;
+  };
+  std::vector<Accumulator> acc(config.schemes.size());
+  EnergyBins baseline_energy;
+  double baseline_user = 0.0;
+  double baseline_isp = 0.0;
+
+  const trace::SyntheticCrawdadGenerator generator(config.scenario.traffic);
+
+  for (int run = 0; run < config.runs; ++run) {
+    sim::Random trace_rng(mix_seed(config.seed, run, 1));
+    const trace::FlowTrace flows = generator.generate(trace_rng);
+
+    const RunMetrics baseline = run_scheme(config.scenario, topology, flows,
+                                           SchemeKind::kNoSleep, mix_seed(config.seed, run, 2));
+    baseline_energy.accumulate(baseline, config.bins);
+    baseline_user += baseline.user_energy();
+    baseline_isp += baseline.isp_energy();
+
+    RunMetrics soi_metrics;
+    bool have_soi = false;
+
+    for (std::size_t s = 0; s < config.schemes.size(); ++s) {
+      const SchemeKind kind = config.schemes[s];
+      RunMetrics metrics =
+          run_scheme(config.scenario, topology, flows, kind, mix_seed(config.seed, run, 100 + static_cast<int>(s)));
+
+      Accumulator& a = acc[s];
+      a.energy.accumulate(metrics, config.bins);
+      a.online_gateways.push_back(
+          metrics.online_gateways.binned_means(0.0, metrics.duration, config.bins));
+      a.online_cards.push_back(
+          metrics.online_cards.binned_means(0.0, metrics.duration, config.bins));
+      a.peak_gateways += metrics.online_gateways.mean(config.peak_start, config.peak_end);
+      a.peak_cards += metrics.online_cards.mean(config.peak_start, config.peak_end);
+      a.day_user_energy += metrics.user_energy();
+      a.day_isp_energy += metrics.isp_energy();
+      a.wakes += static_cast<double>(metrics.gateway_wake_events);
+      a.moves += static_cast<double>(metrics.bh2_moves);
+      a.returns += static_cast<double>(metrics.bh2_home_returns);
+
+      if (kind != SchemeKind::kNoSleep) {
+        const auto fct = completion_time_increase(metrics, baseline);
+        a.fct.insert(a.fct.end(), fct.begin(), fct.end());
+      }
+      if (kind == SchemeKind::kSoi) {
+        soi_metrics = std::move(metrics);
+        have_soi = true;
+        continue;
+      }
+      // Fairness (Fig. 9b) needs the same-run SoI metrics; BH2 schemes are
+      // listed after SoI by convention (enforced below).
+      if ((kind == SchemeKind::kBh2KSwitch || kind == SchemeKind::kBh2NoBackupKSwitch ||
+           kind == SchemeKind::kBh2FullSwitch) &&
+          wants_soi) {
+        util::require_state(have_soi, "list SchemeKind::kSoi before BH2 schemes");
+        const auto variation = online_time_variation(metrics, soi_metrics);
+        a.fairness.insert(a.fairness.end(), variation.begin(), variation.end());
+      }
+    }
+  }
+
+  const double runs_d = static_cast<double>(config.runs);
+  for (std::size_t s = 0; s < config.schemes.size(); ++s) {
+    Accumulator& a = acc[s];
+    SchemeOutcome outcome;
+    outcome.scheme = config.schemes[s];
+
+    outcome.savings.resize(config.bins);
+    outcome.isp_share.resize(config.bins);
+    for (std::size_t i = 0; i < config.bins; ++i) {
+      const double base = baseline_energy.user[i] + baseline_energy.isp[i];
+      const double mine = a.energy.user[i] + a.energy.isp[i];
+      outcome.savings[i] = base > 0.0 ? 1.0 - mine / base : 0.0;
+      const double user_saved = baseline_energy.user[i] - a.energy.user[i];
+      const double isp_saved = baseline_energy.isp[i] - a.energy.isp[i];
+      const double total_saved = user_saved + isp_saved;
+      outcome.isp_share[i] = total_saved > base * 1e-9 ? isp_saved / total_saved : 0.0;
+    }
+    outcome.online_gateways = stats::elementwise_mean(a.online_gateways);
+    outcome.online_cards = stats::elementwise_mean(a.online_cards);
+
+    const double base_day = baseline_user + baseline_isp;
+    const double mine_day = a.day_user_energy + a.day_isp_energy;
+    outcome.day_savings = 1.0 - mine_day / base_day;
+    const double user_saved = baseline_user - a.day_user_energy;
+    const double isp_saved = baseline_isp - a.day_isp_energy;
+    outcome.day_isp_share =
+        (user_saved + isp_saved) > 0.0 ? isp_saved / (user_saved + isp_saved) : 0.0;
+
+    outcome.peak_online_gateways = a.peak_gateways / runs_d;
+    outcome.peak_online_cards = a.peak_cards / runs_d;
+    outcome.fct_increase = std::move(a.fct);
+    outcome.online_time_variation = std::move(a.fairness);
+    outcome.wake_events = a.wakes / runs_d;
+    outcome.bh2_moves = a.moves / runs_d;
+    outcome.bh2_home_returns = a.returns / runs_d;
+
+    result.schemes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+std::vector<DensityPoint> run_density_sweep(const ScenarioConfig& scenario,
+                                            const std::vector<double>& mean_gateways,
+                                            int runs, std::uint64_t seed) {
+  util::require(runs >= 1, "density sweep needs at least one run");
+  std::vector<DensityPoint> points;
+  const trace::SyntheticCrawdadGenerator generator(scenario.traffic);
+  const double peak_start = 11.0 * 3600.0;
+  const double peak_end = 19.0 * 3600.0;
+
+  for (std::size_t level = 0; level < mean_gateways.size(); ++level) {
+    double total = 0.0;
+    for (int run = 0; run < runs; ++run) {
+      sim::Random topo_rng(mix_seed(seed, run, 300 + static_cast<int>(level)));
+      const topo::AccessTopology topology = topo::make_binomial_topology(
+          scenario.client_count, scenario.gateway_count, mean_gateways[level], topo_rng);
+      sim::Random trace_rng(mix_seed(seed, run, 1));
+      const trace::FlowTrace flows = generator.generate(trace_rng);
+      const RunMetrics metrics =
+          run_scheme(scenario, topology, flows, SchemeKind::kBh2KSwitch,
+                     mix_seed(seed, run, 400 + static_cast<int>(level)));
+      total += metrics.online_gateways.mean(peak_start, peak_end);
+    }
+    points.push_back({mean_gateways[level], total / static_cast<double>(runs)});
+  }
+  return points;
+}
+
+int runs_from_env(int fallback) {
+  const char* env = std::getenv("INSOMNIA_RUNS");
+  if (env == nullptr) return fallback;
+  try {
+    const int parsed = std::stoi(env);
+    return parsed >= 1 ? parsed : fallback;
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace insomnia::core

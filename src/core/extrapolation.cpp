@@ -1,0 +1,26 @@
+#include "core/extrapolation.h"
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace insomnia::core {
+
+double world_access_watts(const WorldExtrapolationConfig& config) {
+  util::require(config.dsl_subscribers >= 0.0, "subscriber count must be non-negative");
+  return config.dsl_subscribers *
+         (config.household_watts + config.isp_watts_per_subscriber);
+}
+
+double annual_savings_twh(const WorldExtrapolationConfig& config) {
+  util::require(config.savings_fraction >= 0.0 && config.savings_fraction <= 1.0,
+                "savings fraction must be in [0,1]");
+  return util::watt_years_to_twh(world_access_watts(config) * config.savings_fraction);
+}
+
+double equivalent_nuclear_plants(const WorldExtrapolationConfig& config,
+                                 double twh_per_plant_year) {
+  util::require(twh_per_plant_year > 0.0, "plant output must be positive");
+  return annual_savings_twh(config) / twh_per_plant_year;
+}
+
+}  // namespace insomnia::core

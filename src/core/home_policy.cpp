@@ -1,0 +1,19 @@
+#include "core/home_policy.h"
+
+namespace insomnia::core {
+
+void NoSleepPolicy::start(AccessRuntime& runtime) {
+  for (int g = 0; g < runtime.scenario().gateway_count; ++g) runtime.force_active(g);
+}
+
+int NoSleepPolicy::route_flow(AccessRuntime& runtime, int client, double /*bytes*/) {
+  return runtime.topology().home_gateway[static_cast<std::size_t>(client)];
+}
+
+int SoiPolicy::route_flow(AccessRuntime& runtime, int client, double /*bytes*/) {
+  const int home = runtime.topology().home_gateway[static_cast<std::size_t>(client)];
+  if (runtime.gateway_state(home) == GatewayState::kAsleep) runtime.request_wake(home);
+  return home;
+}
+
+}  // namespace insomnia::core

@@ -1,0 +1,26 @@
+// The two home-only schemes of §5.1: "No-sleep" (today's operation, the
+// energy baseline) and "Sleep-on-Idle" (gateways sleep after the idle
+// timeout; new traffic pays the wake-up penalty).
+#pragma once
+
+#include "core/runtime.h"
+
+namespace insomnia::core {
+
+/// Users connect only to their home gateways; gateways never sleep.
+class NoSleepPolicy : public Policy {
+ public:
+  void start(AccessRuntime& runtime) override;
+  int route_flow(AccessRuntime& runtime, int client, double bytes) override;
+  bool sleep_on_idle() const override { return false; }
+};
+
+/// Users connect only to their home gateways; gateways sleep on idle and
+/// are woken by the next arrival (wake-up takes ScenarioConfig::wake_time,
+/// during which traffic stalls).
+class SoiPolicy : public Policy {
+ public:
+  int route_flow(AccessRuntime& runtime, int client, double bytes) override;
+};
+
+}  // namespace insomnia::core

@@ -1,0 +1,48 @@
+#include "core/report.h"
+
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace insomnia::core {
+
+void write_run_csv(std::ostream& out, const RunMetrics& metrics, std::size_t bins,
+                   const std::string& label) {
+  util::require(bins > 0, "write_run_csv needs at least one bin");
+  util::CsvWriter csv(out);
+  if (!label.empty()) csv.comment(label);
+  csv.header({"hour", "user_watts", "isp_watts", "online_gateways", "online_cards"});
+  const auto user = metrics.user_power.binned_means(0.0, metrics.duration, bins);
+  const auto isp = metrics.isp_power.binned_means(0.0, metrics.duration, bins);
+  const auto gateways = metrics.online_gateways.binned_means(0.0, metrics.duration, bins);
+  const auto cards = metrics.online_cards.binned_means(0.0, metrics.duration, bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double hour =
+        metrics.duration / 3600.0 * static_cast<double>(b) / static_cast<double>(bins);
+    csv.row(std::vector<double>{hour, user[b], isp[b], gateways[b], cards[b]}, 3);
+  }
+}
+
+void write_savings_csv(std::ostream& out, const RunMetrics& run, const RunMetrics& baseline,
+                       std::size_t bins, const std::string& label) {
+  util::require(bins > 0, "write_savings_csv needs at least one bin");
+  util::require(run.duration == baseline.duration, "runs must cover the same day");
+  util::CsvWriter csv(out);
+  if (!label.empty()) csv.comment(label);
+  csv.header({"hour", "savings_fraction", "scheme_watts", "baseline_watts"});
+  const auto savings = binned_savings(run, baseline, bins);
+  const auto run_user = run.user_power.binned_means(0.0, run.duration, bins);
+  const auto run_isp = run.isp_power.binned_means(0.0, run.duration, bins);
+  const auto base_user = baseline.user_power.binned_means(0.0, run.duration, bins);
+  const auto base_isp = baseline.isp_power.binned_means(0.0, run.duration, bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double hour =
+        run.duration / 3600.0 * static_cast<double>(b) / static_cast<double>(bins);
+    csv.row(std::vector<double>{hour, savings[b], run_user[b] + run_isp[b],
+                                base_user[b] + base_isp[b]},
+            4);
+  }
+}
+
+}  // namespace insomnia::core

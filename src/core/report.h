@@ -1,0 +1,24 @@
+// CSV reporting of run metrics: the plumbing between RunMetrics and
+// plotting tools. Used by the examples; exposed publicly so downstream
+// users don't have to re-derive the binning conventions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace insomnia::core {
+
+/// Writes one run's day series as CSV: hour, user watts, ISP watts, online
+/// gateways, online cards. One row per bin.
+void write_run_csv(std::ostream& out, const RunMetrics& metrics, std::size_t bins,
+                   const std::string& label = "");
+
+/// Writes a paired comparison (scheme vs baseline) as CSV: hour, savings
+/// fraction, scheme watts, baseline watts.
+void write_savings_csv(std::ostream& out, const RunMetrics& run, const RunMetrics& baseline,
+                       std::size_t bins, const std::string& label = "");
+
+}  // namespace insomnia::core

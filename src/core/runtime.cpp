@@ -1,0 +1,281 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace insomnia::core {
+
+namespace {
+
+power::DevicePowerModel household_model(const ScenarioConfig& scenario) {
+  const double watts = scenario.household_watts();
+  return {.active_watts = watts, .waking_watts = watts, .asleep_watts = 0.0};
+}
+
+}  // namespace
+
+AccessRuntime::AccessRuntime(const ScenarioConfig& scenario,
+                             const topo::AccessTopology& topology,
+                             const trace::FlowTrace& flows, Policy& policy, sim::Random rng)
+    : scenario_(&scenario),
+      topology_(&topology),
+      flows_(&flows),
+      policy_(&policy),
+      rng_(rng),
+      simulator_(0.0),
+      dslam_(scenario.dslam, rng_),
+      households_("households", household_model(scenario), scenario.gateway_count, 0.0,
+                  power::PowerState::kAsleep),
+      modems_("isp-modems", scenario.power.isp_modem, scenario.dslam_ports(), 0.0,
+              power::PowerState::kAsleep),
+      cards_("line-cards", scenario.power.line_card, scenario.dslam.line_cards, 0.0,
+             power::PowerState::kAsleep),
+      online_gateways_(0.0, 0.0),
+      online_cards_(0.0, 0.0) {
+  util::require(topology.gateway_count == scenario.gateway_count,
+                "topology and scenario disagree on gateway count");
+  util::require(topology.client_count() == scenario.client_count,
+                "topology and scenario disagree on client count");
+  util::require(scenario.gateway_count <= scenario.dslam_ports(),
+                "every gateway needs a DSLAM port");
+
+  std::vector<double> backhaul(static_cast<std::size_t>(scenario.gateway_count),
+                               scenario.backhaul_bps);
+  network_ = std::make_unique<flow::FluidNetwork>(simulator_, std::move(backhaul));
+  network_->set_completion_handler([this](const flow::CompletedFlow& done) {
+    if (done.id < metrics_.completion_time.size()) {
+      metrics_.completion_time[done.id] = done.duration();
+    }
+    auto& live = client_live_flows_[static_cast<std::size_t>(done.client)];
+    live.erase(std::remove(live.begin(), live.end(), done.id), live.end());
+    // Re-arm the SoI timer exactly when a gateway drains its last flow.
+    if (policy_->sleep_on_idle() &&
+        states_[static_cast<std::size_t>(done.gateway)] == GatewayState::kActive &&
+        network_->active_flow_count(done.gateway) == 0) {
+      arm_idle_check(done.gateway);
+    }
+    policy_->on_flow_complete(*this, done);
+  });
+
+  states_.assign(static_cast<std::size_t>(scenario.gateway_count), GatewayState::kAsleep);
+  wake_events_.assign(states_.size(), sim::kInvalidEventId);
+  idle_events_.assign(states_.size(), sim::kInvalidEventId);
+  activation_time_.assign(states_.size(), 0.0);
+  client_live_flows_.resize(static_cast<std::size_t>(scenario.client_count));
+
+  metrics_.duration = scenario.duration;
+  metrics_.completion_time.assign(flows.size(), std::numeric_limits<double>::quiet_NaN());
+}
+
+GatewayState AccessRuntime::gateway_state(int gateway) const {
+  return states_.at(static_cast<std::size_t>(gateway));
+}
+
+bool AccessRuntime::gateway_active(int gateway) const {
+  return gateway_state(gateway) == GatewayState::kActive;
+}
+
+int AccessRuntime::online_gateway_count() const {
+  int count = 0;
+  for (GatewayState s : states_) {
+    if (s != GatewayState::kAsleep) ++count;
+  }
+  return count;
+}
+
+double AccessRuntime::wireless_rate(int client, int gateway) const {
+  return topology_->home_gateway[static_cast<std::size_t>(client)] == gateway
+             ? scenario_->home_wireless_bps
+             : scenario_->remote_wireless_bps;
+}
+
+double AccessRuntime::gateway_load(int gateway) const {
+  return network_->load(gateway, scenario_->bh2.load_window);
+}
+
+const std::vector<flow::FlowId>& AccessRuntime::live_flows(int client) const {
+  return client_live_flows_.at(static_cast<std::size_t>(client));
+}
+
+void AccessRuntime::sync_gateway_meters(int gateway, power::PowerState state) {
+  households_.set_state(gateway, state, simulator_.now());
+  modems_.set_state(gateway, state, simulator_.now());
+  online_gateways_.set(simulator_.now(), static_cast<double>(online_gateway_count()));
+}
+
+void AccessRuntime::sync_card_meters() {
+  for (int card = 0; card < scenario_->dslam.line_cards; ++card) {
+    cards_.set_state(card,
+                     dslam_.card_awake(card) ? power::PowerState::kActive
+                                             : power::PowerState::kAsleep,
+                     simulator_.now());
+  }
+  online_cards_.set(simulator_.now(), static_cast<double>(dslam_.awake_card_count()));
+}
+
+void AccessRuntime::request_wake(int gateway) {
+  auto& state = states_.at(static_cast<std::size_t>(gateway));
+  if (state != GatewayState::kAsleep) return;
+  state = GatewayState::kWaking;
+  ++metrics_.gateway_wake_events;
+  // The DSLAM side powers up with the premises side: the terminating modem
+  // resynchronises and its (possibly remapped) card must be powered.
+  dslam_.line_activated(gateway);
+  sync_gateway_meters(gateway, power::PowerState::kWaking);
+  sync_card_meters();
+  wake_events_[static_cast<std::size_t>(gateway)] =
+      simulator_.after(scenario_->wake_time, [this, gateway] { finish_wake(gateway); });
+}
+
+void AccessRuntime::finish_wake(int gateway) {
+  auto& state = states_.at(static_cast<std::size_t>(gateway));
+  util::require_state(state == GatewayState::kWaking, "finish_wake on a non-waking gateway");
+  state = GatewayState::kActive;
+  wake_events_[static_cast<std::size_t>(gateway)] = sim::kInvalidEventId;
+  activation_time_[static_cast<std::size_t>(gateway)] = simulator_.now();
+  sync_gateway_meters(gateway, power::PowerState::kActive);
+  network_->set_gateway_serving(gateway, true);
+  if (policy_->sleep_on_idle()) arm_idle_check(gateway);
+  policy_->on_gateway_active(*this, gateway);
+}
+
+void AccessRuntime::sleep_gateway(int gateway) {
+  auto& state = states_.at(static_cast<std::size_t>(gateway));
+  util::require_state(state == GatewayState::kActive, "only active gateways sleep via SoI");
+  state = GatewayState::kAsleep;
+  if (idle_events_[static_cast<std::size_t>(gateway)] != sim::kInvalidEventId) {
+    simulator_.cancel(idle_events_[static_cast<std::size_t>(gateway)]);
+    idle_events_[static_cast<std::size_t>(gateway)] = sim::kInvalidEventId;
+  }
+  network_->set_gateway_serving(gateway, false);
+  dslam_.line_deactivated(gateway);
+  sync_gateway_meters(gateway, power::PowerState::kAsleep);
+  sync_card_meters();
+}
+
+void AccessRuntime::force_active(int gateway) {
+  auto& state = states_.at(static_cast<std::size_t>(gateway));
+  if (state == GatewayState::kActive) return;
+  if (state == GatewayState::kWaking &&
+      wake_events_[static_cast<std::size_t>(gateway)] != sim::kInvalidEventId) {
+    simulator_.cancel(wake_events_[static_cast<std::size_t>(gateway)]);
+    wake_events_[static_cast<std::size_t>(gateway)] = sim::kInvalidEventId;
+  }
+  if (state == GatewayState::kAsleep) dslam_.line_activated(gateway);
+  state = GatewayState::kActive;
+  activation_time_[static_cast<std::size_t>(gateway)] = simulator_.now();
+  sync_gateway_meters(gateway, power::PowerState::kActive);
+  sync_card_meters();
+  network_->set_gateway_serving(gateway, true);
+  if (policy_->sleep_on_idle()) arm_idle_check(gateway);
+  policy_->on_gateway_active(*this, gateway);
+}
+
+void AccessRuntime::force_asleep(int gateway) {
+  auto& state = states_.at(static_cast<std::size_t>(gateway));
+  if (state == GatewayState::kAsleep) return;
+  util::require_state(network_->active_flow_count(gateway) == 0,
+                      "cannot force a gateway with live flows asleep");
+  if (wake_events_[static_cast<std::size_t>(gateway)] != sim::kInvalidEventId) {
+    simulator_.cancel(wake_events_[static_cast<std::size_t>(gateway)]);
+    wake_events_[static_cast<std::size_t>(gateway)] = sim::kInvalidEventId;
+  }
+  if (idle_events_[static_cast<std::size_t>(gateway)] != sim::kInvalidEventId) {
+    simulator_.cancel(idle_events_[static_cast<std::size_t>(gateway)]);
+    idle_events_[static_cast<std::size_t>(gateway)] = sim::kInvalidEventId;
+  }
+  state = GatewayState::kAsleep;
+  network_->set_gateway_serving(gateway, false);
+  dslam_.line_deactivated(gateway);
+  sync_gateway_meters(gateway, power::PowerState::kAsleep);
+  sync_card_meters();
+}
+
+void AccessRuntime::arm_idle_check(int gateway) {
+  auto& pending = idle_events_[static_cast<std::size_t>(gateway)];
+  if (pending != sim::kInvalidEventId) simulator_.cancel(pending);
+  const double reference = std::max(network_->last_activity(gateway),
+                                    activation_time_[static_cast<std::size_t>(gateway)]);
+  const double when = std::max(reference + scenario_->idle_timeout,
+                               simulator_.now() + 1e-9);
+  pending = simulator_.at(when, [this, gateway] {
+    idle_events_[static_cast<std::size_t>(gateway)] = sim::kInvalidEventId;
+    idle_check(gateway);
+  });
+}
+
+void AccessRuntime::idle_check(int gateway) {
+  if (states_[static_cast<std::size_t>(gateway)] != GatewayState::kActive) return;
+  const double reference = std::max(network_->last_activity(gateway),
+                                    activation_time_[static_cast<std::size_t>(gateway)]);
+  const bool has_flows = network_->active_flow_count(gateway) > 0;
+  if (!has_flows && simulator_.now() - reference >= scenario_->idle_timeout - 1e-9) {
+    sleep_gateway(gateway);
+    return;
+  }
+  // Not idle. With flows in service last_activity can be stale (it advances
+  // only when this gateway's events run), so back off a full timeout; the
+  // completion handler re-arms the timer exactly when the last flow ends.
+  const double when = has_flows ? simulator_.now() + scenario_->idle_timeout
+                                : reference + scenario_->idle_timeout;
+  auto& pending = idle_events_[static_cast<std::size_t>(gateway)];
+  pending = simulator_.at(std::max(when, simulator_.now() + 1e-9), [this, gateway] {
+    idle_events_[static_cast<std::size_t>(gateway)] = sim::kInvalidEventId;
+    idle_check(gateway);
+  });
+}
+
+void AccessRuntime::repack_dslam() {
+  dslam_.repack_all();
+  sync_card_meters();
+}
+
+void AccessRuntime::schedule_next_arrival() {
+  if (cursor_ >= flows_->size()) return;
+  const double when = (*flows_)[cursor_].start_time;
+  simulator_.at(when, [this] { process_arrival(); });
+}
+
+void AccessRuntime::process_arrival() {
+  const trace::FlowRecord& record = (*flows_)[cursor_];
+  const auto id = static_cast<flow::FlowId>(cursor_);
+  ++cursor_;
+  schedule_next_arrival();
+
+  const int gateway = policy_->route_flow(*this, record.client, record.bytes);
+  util::require_state(gateway >= 0 && gateway < scenario_->gateway_count,
+                      "policy routed a flow to an invalid gateway");
+  client_live_flows_[static_cast<std::size_t>(record.client)].push_back(id);
+  network_->add_flow(id, record.client, gateway, record.bytes,
+                     wireless_rate(record.client, gateway));
+}
+
+RunMetrics AccessRuntime::run() {
+  util::require_state(!ran_, "AccessRuntime::run may only be called once");
+  ran_ = true;
+
+  if (scenario_->start_awake) {
+    for (int g = 0; g < scenario_->gateway_count; ++g) force_active(g);
+  }
+  policy_->start(*this);
+  schedule_next_arrival();
+  simulator_.run_until(scenario_->duration + scenario_->drain_time);
+
+  // Assemble metrics.
+  metrics_.user_power = households_.power_series();
+  metrics_.isp_power = stats::sum_series({&modems_.power_series(), &cards_.power_series()},
+                                         scenario_->power.shelf.active_watts);
+  metrics_.online_gateways = online_gateways_;
+  metrics_.online_cards = online_cards_;
+  metrics_.gateway_online_time.resize(static_cast<std::size_t>(scenario_->gateway_count));
+  for (int g = 0; g < scenario_->gateway_count; ++g) {
+    metrics_.gateway_online_time[static_cast<std::size_t>(g)] =
+        households_.online_time(g, 0.0, scenario_->duration);
+  }
+  return metrics_;
+}
+
+}  // namespace insomnia::core

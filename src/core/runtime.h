@@ -1,0 +1,158 @@
+// AccessRuntime drives one simulated day of one scheme: it owns the event
+// clock, the fluid data plane, the per-gateway sleep state machines, the
+// DSLAM + switching fabric, and the energy meters, and it replays the flow
+// trace through a pluggable Policy (no-sleep / SoI / BH2 / Optimal).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/scenario.h"
+#include "dslam/dslam.h"
+#include "flow/fluid_network.h"
+#include "power/energy_meter.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "topology/access_topology.h"
+#include "trace/records.h"
+
+namespace insomnia::core {
+
+/// Gateway sleep lifecycle (user premises device + its DSLAM modem).
+enum class GatewayState { kAsleep, kWaking, kActive };
+
+class AccessRuntime;
+
+/// A scheme's user-side behaviour. The runtime invokes the policy for every
+/// routing decision and lifecycle event; the policy calls back into the
+/// runtime to wake gateways, move traffic, and (for Optimal) force states.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Called once at t=0 before the replay starts.
+  virtual void start(AccessRuntime&) {}
+
+  /// Picks the gateway that will carry a new flow of `bytes` for `client`
+  /// (requesting wake-ups as a side effect). Must return a valid gateway.
+  virtual int route_flow(AccessRuntime& runtime, int client, double bytes) = 0;
+
+  /// Notification that `gateway` finished waking and now serves traffic.
+  virtual void on_gateway_active(AccessRuntime&, int /*gateway*/) {}
+
+  /// Notification that a flow finished.
+  virtual void on_flow_complete(AccessRuntime&, const flow::CompletedFlow&) {}
+
+  /// False disables Sleep-on-Idle entirely (the no-sleep baseline).
+  virtual bool sleep_on_idle() const { return true; }
+};
+
+/// One simulated day. Construct, then call run() exactly once.
+class AccessRuntime {
+ public:
+  AccessRuntime(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
+                const trace::FlowTrace& flows, Policy& policy, sim::Random rng);
+
+  AccessRuntime(const AccessRuntime&) = delete;
+  AccessRuntime& operator=(const AccessRuntime&) = delete;
+
+  /// Replays the trace and returns the day's metrics.
+  RunMetrics run();
+
+  // --- policy-facing API --------------------------------------------------
+
+  sim::Simulator& simulator() { return simulator_; }
+  flow::FluidNetwork& network() { return *network_; }
+  const topo::AccessTopology& topology() const { return *topology_; }
+  const ScenarioConfig& scenario() const { return *scenario_; }
+  sim::Random& rng() { return rng_; }
+
+  GatewayState gateway_state(int gateway) const;
+  bool gateway_active(int gateway) const;
+
+  /// Number of gateways that are awake (active or waking).
+  int online_gateway_count() const;
+
+  /// asleep -> waking; the gateway becomes active wake_time later. No-op
+  /// unless asleep. Counts towards gateway_wake_events.
+  void request_wake(int gateway);
+
+  /// Instantaneous transitions (idealised Optimal only).
+  void force_active(int gateway);
+  void force_asleep(int gateway);
+
+  /// Wireless rate between a client and a gateway (home vs neighbour).
+  double wireless_rate(int client, int gateway) const;
+
+  /// Gateway utilization over the BH2 load-estimation window.
+  double gateway_load(int gateway) const;
+
+  /// Live (unfinished) flows of one client.
+  const std::vector<flow::FlowId>& live_flows(int client) const;
+
+  /// Full-switch optimal repack of the DSLAM (Optimal only).
+  void repack_dslam();
+
+  /// Trace replay horizon (policies stop periodic work at this time).
+  double duration() const { return scenario_->duration; }
+
+  // Scheme-behaviour counters surfaced in RunMetrics.
+  void count_bh2_move() { ++metrics_.bh2_moves; }
+  void count_bh2_home_return() { ++metrics_.bh2_home_returns; }
+
+ private:
+  /// Completes a wake: starts serving, notifies the policy, arms SoI.
+  void finish_wake(int gateway);
+
+  /// Puts an active, idle gateway to sleep.
+  void sleep_gateway(int gateway);
+
+  /// (Re)schedules the SoI idle check for an active gateway.
+  void arm_idle_check(int gateway);
+
+  /// Fires when a gateway may have been idle long enough to sleep.
+  void idle_check(int gateway);
+
+  /// Pushes gateway/modem meter states and the online-gateway series.
+  void sync_gateway_meters(int gateway, power::PowerState state);
+
+  /// Re-reads the DSLAM card states into the card meter and series.
+  void sync_card_meters();
+
+  /// Schedules the next trace arrival (one event in flight at a time).
+  void schedule_next_arrival();
+
+  /// Processes the trace flow at `cursor_`.
+  void process_arrival();
+
+  const ScenarioConfig* scenario_;
+  const topo::AccessTopology* topology_;
+  const trace::FlowTrace* flows_;
+  Policy* policy_;
+  sim::Random rng_;
+
+  sim::Simulator simulator_;
+  std::unique_ptr<flow::FluidNetwork> network_;
+  dslam::Dslam dslam_;
+
+  power::DeviceGroupMeter households_;
+  power::DeviceGroupMeter modems_;
+  power::DeviceGroupMeter cards_;
+
+  std::vector<GatewayState> states_;
+  std::vector<sim::EventId> wake_events_;
+  std::vector<sim::EventId> idle_events_;
+  std::vector<double> activation_time_;
+  std::vector<std::vector<flow::FlowId>> client_live_flows_;
+
+  stats::StepSeries online_gateways_;
+  stats::StepSeries online_cards_;
+
+  RunMetrics metrics_;
+  std::size_t cursor_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace insomnia::core

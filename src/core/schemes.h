@@ -1,0 +1,48 @@
+// The evaluated schemes (§5.1 "Algorithms for comparison") and a one-call
+// runner that wires the right policy and switch fabric together.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/runtime.h"
+#include "core/scenario.h"
+#include "topology/access_topology.h"
+#include "trace/records.h"
+
+namespace insomnia::core {
+
+/// Every scheme/fabric combination the paper reports.
+enum class SchemeKind {
+  kNoSleep,             ///< baseline: everything always on
+  kSoi,                 ///< Sleep-on-Idle, fixed wiring
+  kSoiKSwitch,          ///< SoI + 12 4-switches
+  kSoiFullSwitch,       ///< SoI + full switch (§5.2.3 comparison)
+  kBh2KSwitch,          ///< BH2 (1 backup) + 4-switches — the headline scheme
+  kBh2NoBackupKSwitch,  ///< BH2 without backup (Fig. 7/9)
+  kBh2FullSwitch,       ///< BH2 + full switch (§5.2.3 comparison)
+  kOptimal,             ///< centralized ILP + instantaneous full switching
+};
+
+/// Human-readable scheme name as used in the paper's figures.
+std::string scheme_name(SchemeKind kind);
+
+/// The HDF fabric each scheme assumes.
+dslam::SwitchMode switch_mode_for(SchemeKind kind);
+
+/// Runs one scheme over one day. The same `topology` and `flows` must be
+/// passed to every scheme being compared (paired-run methodology); `seed`
+/// feeds only the scheme's own randomness (BH2 choices, HDF wiring).
+RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
+                      const trace::FlowTrace& flows, SchemeKind kind, std::uint64_t seed);
+
+/// Runs BH2 (backup count from scenario.bh2) over an explicit HDF fabric —
+/// the switch-size ablation's entry point. `switch_size` is only read in
+/// kKSwitch mode and must divide the card count.
+RunMetrics run_bh2_with_fabric(const ScenarioConfig& scenario,
+                               const topo::AccessTopology& topology,
+                               const trace::FlowTrace& flows, dslam::SwitchMode mode,
+                               int switch_size, std::uint64_t seed);
+
+}  // namespace insomnia::core

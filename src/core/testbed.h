@@ -1,0 +1,44 @@
+// Emulation of the §5.3 live deployment (Fig. 12): 9 gateways on 3 Mbps
+// ADSL lines across three floors, one BH2 terminal per gateway, each
+// terminal replaying the aggregate traffic of one traced AP, clients limited
+// to 3 gateways in range, and the 15:00-15:30 peak window. Compares BH2
+// (without backup, as deployed) against SoI.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace insomnia::core {
+
+/// Testbed shape; defaults follow §5.3.
+struct TestbedConfig {
+  int gateway_count = 9;           ///< the 9 "home" gateways of Fig. 11
+  int max_gateways_in_range = 3;   ///< implementation limit of the deployment
+  double backhaul_bps = 3e6;       ///< commercial 3 Mbps ADSL subscriptions
+  double window_start = 15.0 * 3600.0;
+  double window_end = 15.5 * 3600.0;
+  int runs = 10;
+  std::uint64_t seed = 7;
+  std::size_t bins = 30;           ///< one sample per minute
+  ScenarioConfig base;             ///< trace model and timing parameters
+};
+
+/// Result: per-minute mean online APs for both schemes, plus averages.
+struct TestbedResult {
+  std::vector<double> soi_online;  ///< per bin
+  std::vector<double> bh2_online;
+  double soi_mean_online = 0.0;
+  double bh2_mean_online = 0.0;
+  double soi_mean_sleeping = 0.0;
+  double bh2_mean_sleeping = 0.0;
+};
+
+/// Runs the emulation. Each run draws a fresh day of traffic, aggregates
+/// the traced clients per AP onto the 9 replay terminals, cuts the
+/// half-hour window, and replays it under SoI and BH2 (no backup) starting
+/// from a warm (all-on) state.
+TestbedResult run_testbed_emulation(const TestbedConfig& config);
+
+}  // namespace insomnia::core

@@ -1,0 +1,56 @@
+#include "dsl/attenuation_survey.h"
+
+#include <algorithm>
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace insomnia::dsl {
+
+AttenuationSurvey run_attenuation_survey(const AttenuationSurveyConfig& config,
+                                         sim::Random& rng) {
+  util::require(config.line_cards > 0 && config.ports_per_card > 0,
+                "survey needs at least one card and port");
+  util::require(config.meters_per_db > 0.0, "meters_per_db must be positive");
+
+  const int total = config.line_cards * config.ports_per_card;
+  std::vector<double> attenuation(static_cast<std::size_t>(total));
+  for (double& a : attenuation) {
+    const double length = std::clamp(rng.normal(config.mean_length_m, config.sigma_length_m),
+                                     config.min_length_m, config.max_length_m);
+    a = length / config.meters_per_db;
+  }
+  // Random assignment of lines to ports == random partition into cards.
+  rng.shuffle(attenuation);
+
+  AttenuationSurvey survey;
+  stats::RunningStats overall;
+  std::vector<double> card_means;
+  for (int card = 0; card < config.line_cards; ++card) {
+    const auto begin = attenuation.begin() + static_cast<std::ptrdiff_t>(card) *
+                                                 config.ports_per_card;
+    std::vector<double> ports(begin, begin + config.ports_per_card);
+    stats::RunningStats s;
+    for (double v : ports) {
+      s.add(v);
+      overall.add(v);
+    }
+    CardAttenuationStats stats_out;
+    stats_out.card = card + 1;
+    stats_out.mean = s.mean();
+    stats_out.stddev = s.stddev();
+    stats_out.p25 = stats::quantile(ports, 0.25);
+    stats_out.median = stats::quantile(ports, 0.50);
+    stats_out.p75 = stats::quantile(ports, 0.75);
+    stats_out.min = s.min();
+    stats_out.max = s.max();
+    survey.cards.push_back(stats_out);
+    card_means.push_back(s.mean());
+  }
+  survey.overall_mean = overall.mean();
+  survey.overall_stddev = overall.stddev();
+  survey.between_card_stddev = stats::stddev_of(card_means);
+  return survey;
+}
+
+}  // namespace insomnia::dsl

@@ -1,0 +1,55 @@
+// The appendix experiment (Fig. 15): distribution of measured port
+// attenuations across the line cards of a production DSLAM. The paper uses
+// it to argue that gateway-to-port assignment is effectively random (no
+// geographic clustering per card); we synthesise the same picture from a
+// Gaussian loop-length population (sigma ~ one mile) and the ADSL2+
+// 1 dB ~ 70 m rule.
+#pragma once
+
+#include <vector>
+
+#include "sim/random.h"
+
+namespace insomnia::dsl {
+
+/// Population and DSLAM shape parameters.
+struct AttenuationSurveyConfig {
+  int line_cards = 14;
+  int ports_per_card = 72;
+  double mean_length_m = 2200.0;  ///< mean loop length of the population
+  double sigma_length_m = 1609.344;  ///< one mile, per the paper
+  double min_length_m = 150.0;
+  double max_length_m = 6500.0;
+  double meters_per_db = 70.0;  ///< ADSL2+ attenuation rule of thumb
+};
+
+/// Distribution summary of one line card's port attenuations (dB).
+struct CardAttenuationStats {
+  int card = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Survey outcome: per-card statistics plus the cross-card dispersion used
+/// to test the paper's randomness claim.
+struct AttenuationSurvey {
+  std::vector<CardAttenuationStats> cards;
+  double overall_mean = 0.0;
+  double overall_stddev = 0.0;
+  /// Standard deviation of the per-card means: small relative to
+  /// overall_stddev means no card-level geography ("minimal variations in
+  /// mean" across cards).
+  double between_card_stddev = 0.0;
+};
+
+/// Draws the population, assigns lines to ports uniformly at random, and
+/// summarises per card.
+AttenuationSurvey run_attenuation_survey(const AttenuationSurveyConfig& config,
+                                         sim::Random& rng);
+
+}  // namespace insomnia::dsl

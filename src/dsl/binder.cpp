@@ -1,0 +1,47 @@
+#include "dsl/binder.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace insomnia::dsl {
+
+Binder25::Binder25() {
+  positions_.push_back({0.0, 0.0});  // centre pair
+  constexpr int kInner = 8;
+  constexpr int kOuter = 16;
+  for (int i = 0; i < kInner; ++i) {
+    const double angle = 2.0 * std::numbers::pi * i / kInner;
+    positions_.push_back({std::cos(angle), std::sin(angle)});
+  }
+  for (int i = 0; i < kOuter; ++i) {
+    const double angle = 2.0 * std::numbers::pi * (i + 0.5) / kOuter;
+    positions_.push_back({2.0 * std::cos(angle), 2.0 * std::sin(angle)});
+  }
+  min_distance_ = std::numeric_limits<double>::infinity();
+  for (int a = 0; a < pair_count(); ++a) {
+    for (int b = a + 1; b < pair_count(); ++b) {
+      min_distance_ = std::min(min_distance_, distance(a, b));
+    }
+  }
+}
+
+double Binder25::distance(int a, int b) const {
+  const PairPosition& pa = position(a);
+  const PairPosition& pb = position(b);
+  return std::hypot(pa.x - pb.x, pa.y - pb.y);
+}
+
+double Binder25::coupling_factor(int a, int b) const {
+  util::require(a != b, "coupling_factor needs two distinct pairs");
+  const double d = distance(a, b) / min_distance_;
+  return 1.0 / (d * d);
+}
+
+const PairPosition& Binder25::position(int pair) const {
+  return positions_.at(static_cast<std::size_t>(pair));
+}
+
+}  // namespace insomnia::dsl

@@ -1,0 +1,43 @@
+// Geometry of the 25-pair cable binder of Fig. 13a. Crosstalk coupling
+// between two pairs depends on their physical distance inside the binder:
+// adjacent pairs couple worst. We model the standard cross-section as two
+// concentric rings (8 inner + 16 outer) around a centre pair.
+#pragma once
+
+#include <vector>
+
+namespace insomnia::dsl {
+
+/// 2D position of a pair in the binder cross-section (unit: pair pitch).
+struct PairPosition {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// The 25-pair binder layout and the pairwise coupling geometry.
+class Binder25 {
+ public:
+  /// Builds the canonical layout: pair 0 at the centre, pairs 1-8 on an
+  /// inner ring of radius 1, pairs 9-24 on an outer ring of radius 2.
+  Binder25();
+
+  /// Number of pairs (25).
+  int pair_count() const { return static_cast<int>(positions_.size()); }
+
+  /// Euclidean distance between two pairs in pitch units (>= ~0.77 for
+  /// adjacent outer-ring neighbours).
+  double distance(int a, int b) const;
+
+  /// Relative coupling factor between two distinct pairs: 1/d^2, normalised
+  /// so the closest possible pairs have factor 1. Crosstalk models multiply
+  /// their base coupling constant by this.
+  double coupling_factor(int a, int b) const;
+
+  const PairPosition& position(int pair) const;
+
+ private:
+  std::vector<PairPosition> positions_;
+  double min_distance_;
+};
+
+}  // namespace insomnia::dsl

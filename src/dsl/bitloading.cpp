@@ -1,0 +1,62 @@
+#include "dsl/bitloading.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace insomnia::dsl {
+
+double bits_per_tone(double signal_psd, double noise_psd, double gap_db, double max_bits) {
+  util::require(noise_psd > 0.0, "noise PSD must be positive");
+  if (signal_psd <= 0.0) return 0.0;
+  const double gap = util::db_to_linear(gap_db);
+  const double bits = std::log2(1.0 + signal_psd / (noise_psd * gap));
+  return std::clamp(bits, 0.0, max_bits);
+}
+
+double attainable_rate_bps(const CrosstalkModel& model, int victim,
+                           const std::vector<bool>& active, double margin_noise_db) {
+  const Vdsl2Parameters& params = model.parameters();
+  const double gap_db = params.effective_gap_db() + margin_noise_db;
+  double bits_per_symbol = 0.0;
+  for (std::size_t t = 0; t < model.tones().size(); ++t) {
+    bits_per_symbol += bits_per_tone(model.signal_psd(victim, t),
+                                     model.noise_psd(victim, active, t), gap_db,
+                                     params.max_bits_per_tone);
+  }
+  return bits_per_symbol * kSymbolRateHz * params.framing_efficiency;
+}
+
+SyncResult sync_line(const CrosstalkModel& model, int victim, const std::vector<bool>& active,
+                     const ServiceProfile& profile, double margin_noise_db) {
+  SyncResult result;
+  result.attainable_rate_bps = attainable_rate_bps(model, victim, active, margin_noise_db);
+  result.capped = result.attainable_rate_bps > profile.plan_rate_bps;
+  result.sync_rate_bps = std::min(result.attainable_rate_bps, profile.plan_rate_bps);
+  return result;
+}
+
+double margin_at_rate(const CrosstalkModel& model, int victim, const std::vector<bool>& active,
+                      double rate_bps, double tolerance_db) {
+  util::require(rate_bps > 0.0, "margin_at_rate needs a positive rate");
+  util::require(tolerance_db > 0.0, "margin_at_rate needs a positive tolerance");
+  // attainable_rate_bps is strictly decreasing in the extra margin: more
+  // guard band means fewer bits per tone. Bisect for the crossing point.
+  double lo = -20.0;  // giving margin back raises the rate
+  double hi = 60.0;   // absurdly conservative: rate ~ 0
+  if (attainable_rate_bps(model, victim, active, lo) < rate_bps) return lo;
+  if (attainable_rate_bps(model, victim, active, hi) > rate_bps) return hi;
+  while (hi - lo > tolerance_db) {
+    const double mid = 0.5 * (lo + hi);
+    if (attainable_rate_bps(model, victim, active, mid) >= rate_bps) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace insomnia::dsl

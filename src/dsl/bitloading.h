@@ -1,0 +1,46 @@
+// Multicarrier (DMT) bit-loading: turns per-tone SNR into a sync rate via
+// the Shannon-gap approximation, and models the two VDSL2 initialisation
+// policies of §6.1 — rate-adaptive (maximise rate at fixed margin) and
+// fixed-rate (cap at the plan rate, excess SNR becomes margin).
+#pragma once
+
+#include <vector>
+
+#include "dsl/crosstalk.h"
+#include "dsl/vdsl2.h"
+
+namespace insomnia::dsl {
+
+/// Result of one line initialisation (sync).
+struct SyncResult {
+  double attainable_rate_bps = 0.0;  ///< rate-adaptive ceiling
+  double sync_rate_bps = 0.0;        ///< after the service-profile cap
+  bool capped = false;               ///< true if the plan rate binds
+};
+
+/// Bits per DMT symbol on one tone given signal and noise PSDs (densities
+/// cancel, so any common unit works) and the effective SNR gap in dB.
+/// Clamped to [0, max_bits].
+double bits_per_tone(double signal_psd, double noise_psd, double gap_db, double max_bits);
+
+/// Rate-adaptive attainable rate of `victim` under the given active set
+/// (Shannon-gap bit-loading over every downstream tone), with an optional
+/// extra margin perturbation `margin_noise_db` modelling the
+/// non-determinism of real initialisations (Fig. 14 error bars).
+double attainable_rate_bps(const CrosstalkModel& model, int victim,
+                           const std::vector<bool>& active, double margin_noise_db = 0.0);
+
+/// Full sync: attainable rate then the plan cap of `profile`.
+SyncResult sync_line(const CrosstalkModel& model, int victim, const std::vector<bool>& active,
+                     const ServiceProfile& profile, double margin_noise_db = 0.0);
+
+/// §6.1 initialisation option (ii): fix the bit rate and maximise the noise
+/// margin. Returns the extra margin (dB, relative to the parameters'
+/// target margin) at which the line attains exactly `rate_bps` under the
+/// given active set — positive when the line holds the plan rate with room
+/// to spare, negative when it cannot (it would have to eat into its guard
+/// band). Resolved by bisection over [-20, +60] dB to `tolerance_db`.
+double margin_at_rate(const CrosstalkModel& model, int victim, const std::vector<bool>& active,
+                      double rate_bps, double tolerance_db = 0.01);
+
+}  // namespace insomnia::dsl

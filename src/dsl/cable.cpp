@@ -1,0 +1,24 @@
+#include "dsl/cable.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace insomnia::dsl {
+
+double CableModel::attenuation_db(double f_hz, double length_m) const {
+  util::require(f_hz >= 0.0 && length_m >= 0.0,
+                "attenuation needs non-negative frequency and length");
+  const double f_mhz = f_hz / 1e6;
+  const double per_km =
+      constant_db_per_km + sqrt_term_db_per_km * std::sqrt(f_mhz) + linear_term_db_per_km * f_mhz;
+  return per_km * (length_m / 1000.0);
+}
+
+double CableModel::power_gain(double f_hz, double length_m) const {
+  return std::pow(10.0, -attenuation_db(f_hz, length_m) / 10.0);
+}
+
+CableModel CableModel::pe04() { return {}; }
+
+}  // namespace insomnia::dsl

@@ -1,0 +1,28 @@
+// Twisted-pair cable attenuation model. We use the customary engineering
+// fit for 0.4/0.5 mm PE-insulated pairs: insertion loss grows with the
+// square root of frequency (skin effect) plus a linear dielectric term,
+// proportional to length.
+#pragma once
+
+namespace insomnia::dsl {
+
+/// Frequency-dependent attenuation model of one cable type.
+struct CableModel {
+  /// dB per km at 1 MHz contributed by the sqrt(f) (skin-effect) term.
+  double sqrt_term_db_per_km = 20.0;
+  /// dB per km per MHz contributed by the linear (dielectric) term.
+  double linear_term_db_per_km = 3.4;
+  /// Frequency-independent dB per km (splices, imperfect terminations).
+  double constant_db_per_km = 1.0;
+
+  /// Insertion loss in dB of `length_m` metres at frequency `f_hz`.
+  double attenuation_db(double f_hz, double length_m) const;
+
+  /// Linear power transfer |H(f)|^2 of `length_m` metres at `f_hz`.
+  double power_gain(double f_hz, double length_m) const;
+
+  /// Default European 0.4 mm (26 AWG-like) distribution cable.
+  static CableModel pe04();
+};
+
+}  // namespace insomnia::dsl

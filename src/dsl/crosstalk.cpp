@@ -1,0 +1,87 @@
+#include "dsl/crosstalk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace insomnia::dsl {
+
+CrosstalkModel::CrosstalkModel(std::vector<LineConfig> lines, const Vdsl2Parameters& params,
+                               CableModel cable, double fext_coupling_db)
+    : lines_(std::move(lines)),
+      params_(params),
+      cable_(cable),
+      fext_coupling_linear_(util::db_to_linear(fext_coupling_db)),
+      tones_(params.downstream_tones()),
+      floor_mw_(util::dbm_per_hz_to_mw(params.background_noise_dbm_hz)) {
+  util::require(!lines_.empty(), "CrosstalkModel needs at least one line");
+  for (const LineConfig& line : lines_) {
+    util::require(line.length_m > 0.0, "line length must be positive");
+    util::require(line.binder_pair >= 0 && line.binder_pair < binder_.pair_count(),
+                  "binder pair out of range");
+  }
+
+  const double tx_mw = util::dbm_per_hz_to_mw(params_.tx_psd_dbm_hz);
+  const int n = line_count();
+  signal_.assign(static_cast<std::size_t>(n), std::vector<double>(tones_.size(), 0.0));
+  for (int v = 0; v < n; ++v) {
+    for (std::size_t t = 0; t < tones_.size(); ++t) {
+      signal_[static_cast<std::size_t>(v)][t] =
+          tx_mw * cable_.power_gain(tones_[t], lines_[static_cast<std::size_t>(v)].length_m);
+    }
+  }
+
+  fext_.assign(static_cast<std::size_t>(n),
+               std::vector<std::vector<double>>(static_cast<std::size_t>(n)));
+  for (int v = 0; v < n; ++v) {
+    for (int d = 0; d < n; ++d) {
+      if (d == v) continue;
+      auto& row = fext_[static_cast<std::size_t>(v)][static_cast<std::size_t>(d)];
+      row.resize(tones_.size());
+      const double shared_km =
+          std::min(lines_[static_cast<std::size_t>(v)].length_m,
+                   lines_[static_cast<std::size_t>(d)].length_m) /
+          1000.0;
+      const double geometry = binder_.coupling_factor(
+          lines_[static_cast<std::size_t>(v)].binder_pair,
+          lines_[static_cast<std::size_t>(d)].binder_pair);
+      for (std::size_t t = 0; t < tones_.size(); ++t) {
+        const double f_mhz = tones_[t] / 1e6;
+        row[t] = tx_mw * fext_coupling_linear_ * geometry * f_mhz * f_mhz * shared_km *
+                 cable_.power_gain(tones_[t], lines_[static_cast<std::size_t>(d)].length_m);
+      }
+    }
+  }
+}
+
+double CrosstalkModel::signal_psd(int line, std::size_t tone_index) const {
+  return signal_.at(static_cast<std::size_t>(line)).at(tone_index);
+}
+
+double CrosstalkModel::fext_psd(int victim, int disturber, std::size_t tone_index) const {
+  util::require(victim != disturber, "a line does not disturb itself");
+  return fext_.at(static_cast<std::size_t>(victim))
+      .at(static_cast<std::size_t>(disturber))
+      .at(tone_index);
+}
+
+double CrosstalkModel::noise_psd(int victim, const std::vector<bool>& active,
+                                 std::size_t tone_index) const {
+  util::require(static_cast<int>(active.size()) == line_count(),
+                "active flags must cover every line");
+  double noise = floor_mw_;
+  const auto& rows = fext_[static_cast<std::size_t>(victim)];
+  for (int d = 0; d < line_count(); ++d) {
+    if (d == victim || !active[static_cast<std::size_t>(d)]) continue;
+    noise += rows[static_cast<std::size_t>(d)][tone_index];
+  }
+  return noise;
+}
+
+const LineConfig& CrosstalkModel::line(int index) const {
+  return lines_.at(static_cast<std::size_t>(index));
+}
+
+}  // namespace insomnia::dsl

@@ -1,0 +1,105 @@
+#include "dsl/crosstalk_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace insomnia::dsl {
+
+CrosstalkExperimentResult run_crosstalk_experiment(const CrosstalkExperimentConfig& config,
+                                                   sim::Random& rng) {
+  util::require(config.line_count >= 2 && config.line_count <= 24,
+                "experiment supports 2..24 lines (binder positions)");
+  for (int step : config.inactive_steps) {
+    util::require(step >= 0 && step < config.line_count,
+                  "cannot deactivate that many lines");
+  }
+
+  // Build the physical scenario: line i on binder ring position i+1 (the
+  // centre pair stays unused, as in a real 25-pair count).
+  std::vector<LineConfig> lines(static_cast<std::size_t>(config.line_count));
+  for (int i = 0; i < config.line_count; ++i) {
+    auto& line = lines[static_cast<std::size_t>(i)];
+    line.binder_pair = i + 1;
+    if (config.mixed_lengths) {
+      const double u = std::pow(rng.uniform(0.0, 1.0), config.mixed_length_skew);
+      line.length_m = config.mixed_min_m + (config.mixed_max_m - config.mixed_min_m) * u;
+    } else {
+      line.length_m = config.fixed_length_m;
+    }
+  }
+  const CrosstalkModel model(lines, config.params, CableModel::pe04(),
+                             config.fext_coupling_db);
+
+  // Noise-free per-line baselines with every line active.
+  std::vector<bool> all_active(static_cast<std::size_t>(config.line_count), true);
+  std::vector<double> baseline(static_cast<std::size_t>(config.line_count));
+  for (int v = 0; v < config.line_count; ++v) {
+    baseline[static_cast<std::size_t>(v)] =
+        sync_line(model, v, all_active, config.profile).sync_rate_bps;
+  }
+
+  CrosstalkExperimentResult result;
+  result.baseline_mean_bps = stats::mean_of(baseline);
+
+  // speedups[step] accumulates one mean-per-line speedup per (sequence,
+  // repetition) measurement.
+  std::vector<std::vector<double>> speedups(config.inactive_steps.size());
+
+  for (int seq = 0; seq < config.sequences; ++seq) {
+    std::vector<int> order(static_cast<std::size_t>(config.line_count));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    for (int rep = 0; rep < config.repetitions; ++rep) {
+      for (std::size_t s = 0; s < config.inactive_steps.size(); ++s) {
+        const int inactive = config.inactive_steps[s];
+        std::vector<bool> active(static_cast<std::size_t>(config.line_count), true);
+        for (int i = 0; i < inactive; ++i) {
+          active[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = false;
+        }
+        // Resynchronise every active line, one at a time (random order per
+        // the methodology), each with independent margin noise.
+        stats::RunningStats per_line;
+        for (int v = 0; v < config.line_count; ++v) {
+          if (!active[static_cast<std::size_t>(v)]) continue;
+          const double noise_db = rng.normal(0.0, config.margin_noise_sigma_db);
+          const double rate = sync_line(model, v, active, config.profile, noise_db).sync_rate_bps;
+          per_line.add(rate / baseline[static_cast<std::size_t>(v)] - 1.0);
+        }
+        speedups[s].push_back(per_line.mean());
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < config.inactive_steps.size(); ++s) {
+    result.points.push_back({config.inactive_steps[s], stats::mean_of(speedups[s]),
+                             stats::stddev_of(speedups[s])});
+  }
+  return result;
+}
+
+std::vector<CrosstalkExperimentConfig> fig14_configurations() {
+  CrosstalkExperimentConfig mixed62;
+  mixed62.mixed_lengths = true;
+  mixed62.params = Vdsl2Parameters::profile_17a();
+  mixed62.profile = ServiceProfile::mbps62();
+
+  CrosstalkExperimentConfig fixed62 = mixed62;
+  fixed62.mixed_lengths = false;
+
+  CrosstalkExperimentConfig mixed30;
+  mixed30.mixed_lengths = true;
+  mixed30.params = Vdsl2Parameters::profile_ds1_only();
+  mixed30.profile = ServiceProfile::mbps30();
+
+  CrosstalkExperimentConfig fixed30 = mixed30;
+  fixed30.mixed_lengths = false;
+
+  return {mixed62, fixed62, mixed30, fixed30};
+}
+
+}  // namespace insomnia::dsl

@@ -1,0 +1,65 @@
+// The Fig. 14 experiment: 24 VDSL2 lines in one binder; deactivate lines in
+// random orders and measure the sync-rate speedup of the remaining active
+// lines relative to the all-active baseline. Reproduces the paper's four
+// configurations (30/62 Mbps plans x fixed-600 m / mixed-length loops),
+// including the measurement noise that gives the error bars.
+#pragma once
+
+#include <vector>
+
+#include "dsl/bitloading.h"
+#include "dsl/crosstalk.h"
+#include "dsl/vdsl2.h"
+#include "sim/random.h"
+
+namespace insomnia::dsl {
+
+/// Parameters of one experiment configuration.
+struct CrosstalkExperimentConfig {
+  int line_count = 24;
+  bool mixed_lengths = true;       ///< true: telco length mix; false: fixed
+  double fixed_length_m = 600.0;
+  double mixed_min_m = 50.0;       ///< mixed loops drawn from [min, max]
+  double mixed_max_m = 600.0;
+  /// Mixed loops are sampled as min + (max-min) * u^skew; skew < 1 skews
+  /// the population towards long loops (telco plant is mostly far from the
+  /// exchange).
+  double mixed_length_skew = 0.40;
+  Vdsl2Parameters params = Vdsl2Parameters::profile_17a();
+  ServiceProfile profile = ServiceProfile::mbps62();
+  double fext_coupling_db = kDefaultFextCouplingDb;
+
+  /// §6.2 methodology: 5 random orders, each measured twice.
+  int sequences = 5;
+  int repetitions = 2;
+
+  /// Per-sync noise on the effective margin (dB, 1 sigma) modelling the
+  /// "non-deterministic nature of the measured medium".
+  double margin_noise_sigma_db = 0.25;
+
+  /// Numbers of inactive lines at which to measure (the paper's x-axis).
+  std::vector<int> inactive_steps = {0, 2, 4, 6, 8, 10, 12, 16, 20};
+};
+
+/// Mean/stddev of the per-line speedup at one inactive-count step.
+struct SpeedupPoint {
+  int inactive_lines = 0;
+  double mean_speedup = 0.0;    ///< fractional gain (0.25 = +25 %)
+  double stddev_speedup = 0.0;  ///< across sequences x repetitions
+};
+
+/// Result of one configuration sweep.
+struct CrosstalkExperimentResult {
+  double baseline_mean_bps = 0.0;  ///< mean sync rate, all lines active
+  std::vector<SpeedupPoint> points;
+};
+
+/// Runs the sweep. Deterministic given `rng`'s state.
+CrosstalkExperimentResult run_crosstalk_experiment(const CrosstalkExperimentConfig& config,
+                                                   sim::Random& rng);
+
+/// The paper's four configurations in legend order (62 mixed, 62 fixed,
+/// 30 mixed, 30 fixed). The 30 Mbps plan rides the narrower 8b band plan.
+std::vector<CrosstalkExperimentConfig> fig14_configurations();
+
+}  // namespace insomnia::dsl

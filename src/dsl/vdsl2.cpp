@@ -1,0 +1,47 @@
+#include "dsl/vdsl2.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace insomnia::dsl {
+
+std::vector<double> Vdsl2Parameters::downstream_tones() const {
+  std::vector<double> tones;
+  for (const Band& band : downstream_bands) {
+    util::require(band.high_hz > band.low_hz, "band must have positive width");
+    // First tone centre at or above the band edge.
+    const auto first = static_cast<long>(std::ceil(band.low_hz / kToneSpacingHz));
+    for (long n = first; n * kToneSpacingHz < band.high_hz; ++n) {
+      tones.push_back(static_cast<double>(n) * kToneSpacingHz);
+    }
+  }
+  return tones;
+}
+
+Vdsl2Parameters Vdsl2Parameters::profile_17a() {
+  Vdsl2Parameters p;
+  p.name = "VDSL2-17a (998ADE17)";
+  p.downstream_bands = {{138e3, 3.75e6}, {5.2e6, 8.5e6}, {12.0e6, 17.664e6}};
+  return p;
+}
+
+Vdsl2Parameters Vdsl2Parameters::profile_8b() {
+  Vdsl2Parameters p;
+  p.name = "VDSL2-8b (998)";
+  p.downstream_bands = {{138e3, 3.75e6}, {5.2e6, 8.5e6}};
+  return p;
+}
+
+Vdsl2Parameters Vdsl2Parameters::profile_ds1_only() {
+  Vdsl2Parameters p;
+  p.name = "VDSL2-DS1 (998 DS1 only)";
+  p.downstream_bands = {{138e3, 3.75e6}};
+  return p;
+}
+
+ServiceProfile ServiceProfile::mbps30() { return {"30 Mbps plan", 30e6}; }
+
+ServiceProfile ServiceProfile::mbps62() { return {"62 Mbps plan", 62e6}; }
+
+}  // namespace insomnia::dsl

@@ -1,0 +1,69 @@
+// VDSL2 transmission parameters: DMT tone grid, downstream band plan, and
+// service profiles. Only the downstream direction is modelled (the paper's
+// crosstalk experiment reports downstream sync rates).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace insomnia::dsl {
+
+/// A contiguous frequency band [low_hz, high_hz).
+struct Band {
+  double low_hz = 0.0;
+  double high_hz = 0.0;
+};
+
+/// DMT constants shared by ADSL2+/VDSL2.
+inline constexpr double kToneSpacingHz = 4312.5;
+inline constexpr double kSymbolRateHz = 4000.0;  ///< DMT symbols per second
+
+/// Modem/line transmission parameters.
+struct Vdsl2Parameters {
+  std::string name;
+  std::vector<Band> downstream_bands;  ///< band plan, ascending, disjoint
+  double tx_psd_dbm_hz = -60.0;        ///< flat downstream transmit PSD
+  /// Receiver noise floor. -132 dBm/Hz folds the AWGN floor together with
+  /// alien (out-of-binder) crosstalk and impulse-noise margin, calibrated
+  /// against the Fig. 14 testbed baselines.
+  double background_noise_dbm_hz = -132.0;
+  double snr_gap_db = 9.75;            ///< Shannon gap for 1e-7 BER, uncoded
+  double target_margin_db = 6.0;       ///< paper §6.1: at least 6 dB margin
+  double coding_gain_db = 3.0;         ///< trellis + RS coding gain
+  double max_bits_per_tone = 15.0;
+  double framing_efficiency = 0.97;    ///< overhead of framing/RS parity
+
+  /// Effective SNR gap including margin and coding gain (dB).
+  double effective_gap_db() const {
+    return snr_gap_db + target_margin_db - coding_gain_db;
+  }
+
+  /// Centre frequencies of every usable downstream tone, ascending.
+  std::vector<double> downstream_tones() const;
+
+  /// ITU-T band plan 998ADE17 (profile 17a) downstream bands: DS1-DS3.
+  /// This is what a 62 Mbps service profile runs on.
+  static Vdsl2Parameters profile_17a();
+
+  /// Band plan 998 (profile 8b) downstream bands: DS1-DS2.
+  static Vdsl2Parameters profile_8b();
+
+  /// DS1 only (138 kHz - 3.75 MHz). Models the paper's 30 Mbps service
+  /// profile, whose measured baselines (27.8/29.7 Mbps at <= 600 m) sit
+  /// *below* the plan cap — only possible if the DSLAM provisioned the
+  /// first downstream band alone.
+  static Vdsl2Parameters profile_ds1_only();
+};
+
+/// A commercial service profile: the plan cap applied on top of whatever
+/// the line could physically attain (§6.1 option (ii): fixed bit rate with
+/// maximised margin — attainable rate above the cap is converted to margin).
+struct ServiceProfile {
+  std::string name;
+  double plan_rate_bps = 0.0;  ///< subscribed downstream rate cap
+
+  static ServiceProfile mbps30();
+  static ServiceProfile mbps62();
+};
+
+}  // namespace insomnia::dsl

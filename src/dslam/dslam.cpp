@@ -1,0 +1,193 @@
+#include "dslam/dslam.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace insomnia::dslam {
+
+Dslam::Dslam(const DslamConfig& config, sim::Random& rng) : config_(config) {
+  util::require(config_.line_cards > 0 && config_.ports_per_card > 0,
+                "DSLAM needs cards and ports");
+  if (config_.mode == SwitchMode::kKSwitch) {
+    util::require(config_.switch_size >= 1 && config_.line_cards % config_.switch_size == 0,
+                  "switch size must divide the number of line cards");
+  }
+  const int n = config_.line_cards * config_.ports_per_card;
+
+  ports_.resize(static_cast<std::size_t>(n));
+  for (int card = 0; card < config_.line_cards; ++card) {
+    for (int position = 0; position < config_.ports_per_card; ++position) {
+      ports_[static_cast<std::size_t>(port_index(card, position))].card = card;
+    }
+  }
+
+  // Random HDF wiring: a random bijection line -> port.
+  std::vector<int> shuffled_ports(static_cast<std::size_t>(n));
+  std::iota(shuffled_ports.begin(), shuffled_ports.end(), 0);
+  rng.shuffle(shuffled_ports);
+  line_to_port_.resize(static_cast<std::size_t>(n));
+  for (int line = 0; line < n; ++line) {
+    const int port = shuffled_ports[static_cast<std::size_t>(line)];
+    line_to_port_[static_cast<std::size_t>(line)] = port;
+    ports_[static_cast<std::size_t>(port)].line = line;
+  }
+
+  active_.assign(static_cast<std::size_t>(n), false);
+  active_per_card_.assign(static_cast<std::size_t>(config_.line_cards), 0);
+
+  if (config_.mode == SwitchMode::kKSwitch) {
+    // Switch (group g, position p) covers port p of each card in group g.
+    const int groups = config_.line_cards / config_.switch_size;
+    const int switch_count = groups * config_.ports_per_card;
+    switch_ports_.resize(static_cast<std::size_t>(switch_count));
+    line_switch_.assign(static_cast<std::size_t>(n), -1);
+    for (int card = 0; card < config_.line_cards; ++card) {
+      const int group = card / config_.switch_size;
+      for (int position = 0; position < config_.ports_per_card; ++position) {
+        const int switch_id = group * config_.ports_per_card + position;
+        const int port = port_index(card, position);
+        switch_ports_[static_cast<std::size_t>(switch_id)].push_back(port);
+        // The line wired through this port belongs to this switch for good.
+        line_switch_[static_cast<std::size_t>(ports_[static_cast<std::size_t>(port)].line)] =
+            switch_id;
+      }
+    }
+  }
+}
+
+int Dslam::card_of_line(int line) const {
+  return ports_.at(static_cast<std::size_t>(line_to_port_.at(static_cast<std::size_t>(line))))
+      .card;
+}
+
+bool Dslam::card_awake(int card) const {
+  return active_per_card_.at(static_cast<std::size_t>(card)) > 0;
+}
+
+int Dslam::awake_card_count() const {
+  int count = 0;
+  for (int per_card : active_per_card_) {
+    if (per_card > 0) ++count;
+  }
+  return count;
+}
+
+int Dslam::active_line_count() const {
+  return static_cast<int>(std::count(active_.begin(), active_.end(), true));
+}
+
+std::vector<int> Dslam::reachable_ports(int line) const {
+  if (config_.mode == SwitchMode::kKSwitch) {
+    return switch_ports_.at(
+        static_cast<std::size_t>(line_switch_.at(static_cast<std::size_t>(line))));
+  }
+  std::vector<int> all(ports_.size());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+void Dslam::swap_line_to_port(int line, int target_port) {
+  const int old_port = line_to_port_[static_cast<std::size_t>(line)];
+  if (old_port == target_port) return;
+  const int displaced = ports_[static_cast<std::size_t>(target_port)].line;
+  util::require_state(displaced < 0 || !active_[static_cast<std::size_t>(displaced)],
+                      "cannot displace an active (synced) line");
+  ports_[static_cast<std::size_t>(target_port)].line = line;
+  ports_[static_cast<std::size_t>(old_port)].line = displaced;
+  line_to_port_[static_cast<std::size_t>(line)] = target_port;
+  if (displaced >= 0) line_to_port_[static_cast<std::size_t>(displaced)] = old_port;
+}
+
+void Dslam::line_activated(int line) {
+  auto is_active = active_.at(static_cast<std::size_t>(line));
+  if (is_active) return;
+
+  if (config_.mode == SwitchMode::kKSwitch) {
+    // Pack actives onto the highest-numbered cards of the switch group:
+    // move the waking line to the highest-card port currently holding an
+    // inactive line, if that is higher than where it sits now.
+    int best_port = -1;
+    int best_card = card_of_line(line);
+    for (int port : reachable_ports(line)) {
+      const int mapped = ports_[static_cast<std::size_t>(port)].line;
+      if (mapped == line || active_[static_cast<std::size_t>(mapped)]) continue;
+      if (ports_[static_cast<std::size_t>(port)].card > best_card) {
+        best_card = ports_[static_cast<std::size_t>(port)].card;
+        best_port = port;
+      }
+    }
+    if (best_port >= 0) swap_line_to_port(line, best_port);
+  } else if (config_.mode == SwitchMode::kFullSwitch) {
+    // Best-fit: if our card is asleep, join the awake card with the most
+    // active lines that still has an inactive port (ties: highest card).
+    const int current_card = card_of_line(line);
+    if (!card_awake(current_card)) {
+      int best_port = -1;
+      int best_load = -1;
+      int best_card = -1;
+      for (int port = 0; port < static_cast<int>(ports_.size()); ++port) {
+        const Port& p = ports_[static_cast<std::size_t>(port)];
+        if (p.line == line || active_[static_cast<std::size_t>(p.line)]) continue;
+        if (!card_awake(p.card)) continue;
+        const int load = active_per_card_[static_cast<std::size_t>(p.card)];
+        if (load > best_load || (load == best_load && p.card > best_card)) {
+          best_load = load;
+          best_card = p.card;
+          best_port = port;
+        }
+      }
+      if (best_port >= 0) swap_line_to_port(line, best_port);
+    }
+  }
+
+  active_[static_cast<std::size_t>(line)] = true;
+  ++active_per_card_[static_cast<std::size_t>(card_of_line(line))];
+}
+
+void Dslam::line_deactivated(int line) {
+  auto is_active = active_.at(static_cast<std::size_t>(line));
+  if (!is_active) return;
+  active_[static_cast<std::size_t>(line)] = false;
+  --active_per_card_[static_cast<std::size_t>(card_of_line(line))];
+}
+
+int Dslam::repack_all() {
+  // Collect active and inactive lines, then refill ports: actives fill the
+  // last card first so awake cards are contiguous at the high end.
+  std::vector<int> actives;
+  std::vector<int> inactives;
+  for (int line = 0; line < line_count(); ++line) {
+    (active_[static_cast<std::size_t>(line)] ? actives : inactives).push_back(line);
+  }
+  std::vector<int> order(ports_.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Descending port index == fill from the last card backwards.
+  std::reverse(order.begin(), order.end());
+
+  std::size_t next = 0;
+  for (int line : actives) {
+    const int port = order[next++];
+    ports_[static_cast<std::size_t>(port)].line = line;
+    line_to_port_[static_cast<std::size_t>(line)] = port;
+  }
+  for (int line : inactives) {
+    const int port = order[next++];
+    ports_[static_cast<std::size_t>(port)].line = line;
+    line_to_port_[static_cast<std::size_t>(line)] = port;
+  }
+
+  std::fill(active_per_card_.begin(), active_per_card_.end(), 0);
+  for (int line : actives) {
+    ++active_per_card_[static_cast<std::size_t>(card_of_line(line))];
+  }
+  return awake_card_count();
+}
+
+int Dslam::minimal_awake_cards() const {
+  const int active = active_line_count();
+  return (active + config_.ports_per_card - 1) / config_.ports_per_card;
+}
+
+}  // namespace insomnia::dslam

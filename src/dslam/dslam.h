@@ -1,0 +1,112 @@
+// DSLAM model: line cards, ports, and the HDF switching fabric in front of
+// them. Tracks which card terminates each subscriber line as lines go
+// active/inactive and applies the §4 switching policies:
+//
+//   * kFixed      — lines are permanently wired to ports (today's HDF),
+//   * kKSwitch    — m k-switches per group of k cards; a waking line may be
+//                   remapped (non-disruptively: only the waking line and an
+//                   inactive line move) so actives pack onto few cards,
+//   * kFullSwitch — any line can reach any port; same wake-time-only
+//                   non-disruption rule, but the whole DSLAM is one group.
+//
+// The idealised Optimal scheme instead calls repack_all(), which migrates
+// active lines with zero downtime onto the minimum number of cards.
+//
+// A card is awake iff at least one line currently mapped to it is active;
+// per-line terminating modems follow their line's state directly and are
+// accounted separately by the energy layer.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace insomnia::dslam {
+
+/// HDF switching capability in front of the DSLAM.
+enum class SwitchMode {
+  kFixed,
+  kKSwitch,
+  kFullSwitch,
+};
+
+/// Shape of the DSLAM and fabric.
+struct DslamConfig {
+  int line_cards = 4;
+  int ports_per_card = 12;
+  SwitchMode mode = SwitchMode::kFixed;
+  /// Switch size k for kKSwitch (must divide line_cards).
+  int switch_size = 4;
+};
+
+/// The DSLAM + fabric state machine. Time-free: the caller owns the clock
+/// and reads card states after each transition (the core runtime wires
+/// these into energy meters).
+class Dslam {
+ public:
+  /// Wires `line_cards * ports_per_card` lines to ports. The HDF wiring is
+  /// random (`rng`), matching the appendix finding that port assignment is
+  /// uncorrelated with geography.
+  Dslam(const DslamConfig& config, sim::Random& rng);
+
+  int line_count() const { return static_cast<int>(line_to_port_.size()); }
+  int card_count() const { return config_.line_cards; }
+
+  /// Called when `line`'s gateway wakes (line goes active). Under k/full
+  /// switching this is the only moment remapping is allowed; the line may
+  /// swap ports with an inactive line of its switch group.
+  void line_activated(int line);
+
+  /// Called when `line`'s gateway goes to sleep.
+  void line_deactivated(int line);
+
+  bool line_active(int line) const { return active_.at(static_cast<std::size_t>(line)); }
+
+  /// Card currently terminating `line`.
+  int card_of_line(int line) const;
+
+  /// True iff any active line terminates on `card`.
+  bool card_awake(int card) const;
+
+  /// Number of awake cards.
+  int awake_card_count() const;
+
+  /// Number of active lines.
+  int active_line_count() const;
+
+  /// Zero-downtime global repack (Optimal only): active lines migrate onto
+  /// the minimal number of cards (filling from the last card), regardless
+  /// of switch mode. Returns the number of awake cards afterwards.
+  int repack_all();
+
+  /// Lower bound on awake cards given the current active count:
+  /// ceil(active / ports_per_card).
+  int minimal_awake_cards() const;
+
+ private:
+  struct Port {
+    int card = 0;
+    int line = -1;  ///< line currently mapped here
+  };
+
+  int port_index(int card, int position) const { return card * config_.ports_per_card + position; }
+
+  /// Ports reachable from `line` by its fabric (its switch group for
+  /// kKSwitch, every port for kFullSwitch).
+  std::vector<int> reachable_ports(int line) const;
+
+  /// Swaps the port mappings of `line` (waking, unsynced) and the inactive
+  /// line on `target_port`.
+  void swap_line_to_port(int line, int target_port);
+
+  DslamConfig config_;
+  std::vector<Port> ports_;        // indexed by port_index
+  std::vector<int> line_to_port_;  // line -> port index
+  std::vector<bool> active_;       // per line
+  std::vector<int> active_per_card_;
+  std::vector<int> line_switch_;   // line -> switch id (kKSwitch only)
+  std::vector<std::vector<int>> switch_ports_;  // switch id -> port indices
+};
+
+}  // namespace insomnia::dslam

@@ -1,0 +1,109 @@
+#include "dslam/sleep_model.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace insomnia::dslam {
+
+namespace {
+
+void check_args(int l, int k, int m, double p) {
+  util::require(k >= 1, "switch size k must be >= 1");
+  util::require(l >= 1 && l <= k, "card index l must be in 1..k");
+  util::require(m >= 1, "modems per card m must be >= 1");
+  util::require(p >= 0.0 && p <= 1.0, "probability p must be in [0,1]");
+}
+
+double binomial_coefficient(int n, int r) {
+  double result = 1.0;
+  for (int i = 1; i <= r; ++i) {
+    result *= static_cast<double>(n - r + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+}  // namespace
+
+double prob_at_least_inactive(int l, int k, double p) {
+  util::require(k >= 1 && l >= 0 && l <= k, "need 0 <= l <= k, k >= 1");
+  util::require(p >= 0.0 && p <= 1.0, "probability p must be in [0,1]");
+  const double q = 1.0 - p;  // per-line inactive probability
+  // P{#inactive >= l} = 1 - sum_{i=0}^{l-1} C(k,i) q^i p^(k-i)
+  double below = 0.0;
+  for (int i = 0; i < l; ++i) {
+    below += binomial_coefficient(k, i) * std::pow(q, i) * std::pow(p, k - i);
+  }
+  return std::max(0.0, 1.0 - below);
+}
+
+double sleep_probability_exact(int l, int k, int m, double p) {
+  check_args(l, k, m, p);
+  return std::pow(prob_at_least_inactive(l, k, p), m);
+}
+
+double sleep_probability_paper(int l, int k, int m, double p) {
+  check_args(l, k, m, p);
+  const double q = 1.0 - p;
+  double below = 0.0;
+  for (int i = 0; i < l; ++i) {
+    below += std::pow(q, i) * std::pow(p, k - i);  // note: no C(k,i) — as published
+  }
+  return std::pow(std::max(0.0, 1.0 - below), m);
+}
+
+double sleep_probability_monte_carlo(int l, int k, int m, double p, int trials,
+                                     sim::Random& rng) {
+  check_args(l, k, m, p);
+  util::require(trials > 0, "Monte Carlo needs at least one trial");
+  int sleeps = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    bool card_sleeps = true;
+    for (int sw = 0; sw < m && card_sleeps; ++sw) {
+      int inactive = 0;
+      for (int line = 0; line < k; ++line) {
+        if (!rng.bernoulli(p)) ++inactive;
+      }
+      // Packing sends inactive lines to cards 1..#inactive of this switch;
+      // card l gets an inactive line iff the switch has at least l of them.
+      if (inactive < l) card_sleeps = false;
+    }
+    if (card_sleeps) ++sleeps;
+  }
+  return static_cast<double>(sleeps) / static_cast<double>(trials);
+}
+
+double expected_sleeping_cards(int k, int m, double p) {
+  double expected = 0.0;
+  for (int l = 1; l <= k; ++l) expected += sleep_probability_exact(l, k, m, p);
+  return expected;
+}
+
+double full_switch_expected_sleeping_cards(int cards, int m, double p) {
+  util::require(cards >= 1 && m >= 1, "need at least one card and modem");
+  util::require(p >= 0.0 && p <= 1.0, "probability p must be in [0,1]");
+  const int n = cards * m;
+  // E[floor((n - A)/m)] with A ~ Binomial(n, p); evaluate the pmf directly.
+  double expected = 0.0;
+  double pmf = std::pow(1.0 - p, n);  // P{A = 0}
+  for (int a = 0; a <= n; ++a) {
+    if (a > 0) {
+      if (p >= 1.0) {
+        pmf = (a == n) ? 1.0 : 0.0;
+      } else {
+        pmf *= static_cast<double>(n - a + 1) / static_cast<double>(a) * (p / (1.0 - p));
+      }
+    }
+    expected += pmf * static_cast<double>((n - a) / m);
+  }
+  return expected;
+}
+
+int full_switch_sleeping_cards_approx(int cards, int m, double p) {
+  util::require(cards >= 1 && m >= 1, "need at least one card and modem");
+  const int n = cards * m;
+  return static_cast<int>(std::floor(static_cast<double>(n) * (1.0 - p) /
+                                     static_cast<double>(m)));
+}
+
+}  // namespace insomnia::dslam

@@ -1,0 +1,50 @@
+// Analytic model of line-card sleep probability under k-switching (§4.2).
+//
+// Setting: k line cards with m modems each are interconnected by m
+// k-switches; switch j can permute its k lines among the j-th port of every
+// card. Each line is independently active with probability p. Every switch
+// packs its inactive lines towards card 1, so card l sleeps iff *every*
+// switch has at least l inactive lines.
+//
+// The paper's Eq. (2) writes P{at least l of k inactive} as
+//     1 - sum_{i=0}^{l-1} (1-p)^i p^(k-i)
+// which omits the binomial coefficients C(k,i). We provide that expression
+// verbatim (to regenerate Fig. 5 as printed) *and* the correct binomial
+// tail, plus a Monte-Carlo estimator that the tests use to show which one
+// matches simulation (the binomial tail does).
+#pragma once
+
+#include "sim/random.h"
+
+namespace insomnia::dslam {
+
+/// P{at least l of k lines inactive}, lines active i.i.d. with prob. p —
+/// correct binomial tail.
+double prob_at_least_inactive(int l, int k, double p);
+
+/// P{card l (1-based) sleeps} with the correct binomial tail:
+/// prob_at_least_inactive(l,k,p) ^ m.
+double sleep_probability_exact(int l, int k, int m, double p);
+
+/// P{card l sleeps} using the paper's Eq. (2) exactly as published
+/// (missing binomial coefficients).
+double sleep_probability_paper(int l, int k, int m, double p);
+
+/// Monte-Carlo estimate of P{card l sleeps}: draws m switches of k
+/// Bernoulli lines per trial and applies the packing rule directly.
+double sleep_probability_monte_carlo(int l, int k, int m, double p, int trials,
+                                     sim::Random& rng);
+
+/// Expected number of sleeping cards in a batch of k (sum over l of the
+/// exact sleep probability).
+double expected_sleeping_cards(int k, int m, double p);
+
+/// Cards a *full* switch over n = cards*m lines can put to sleep in
+/// expectation: E[floor((n - #active)/m)] under Binomial(n, p) actives,
+/// computed exactly. The paper quotes the deterministic floor(n(1-p)/m).
+double full_switch_expected_sleeping_cards(int cards, int m, double p);
+
+/// The paper's deterministic approximation floor(n(1-p)/m).
+int full_switch_sleeping_cards_approx(int cards, int m, double p);
+
+}  // namespace insomnia::dslam

@@ -1,0 +1,236 @@
+#include "flow/fluid_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "flow/max_min.h"
+#include "util/error.h"
+
+namespace insomnia::flow {
+
+FluidNetwork::FluidNetwork(sim::Simulator& simulator, std::vector<double> backhaul_rates)
+    : simulator_(&simulator) {
+  util::require(!backhaul_rates.empty(), "FluidNetwork needs at least one gateway");
+  gateways_.reserve(backhaul_rates.size());
+  for (double rate : backhaul_rates) {
+    util::require(rate > 0.0, "backhaul rates must be positive");
+    gateways_.emplace_back(rate, simulator.now());
+  }
+}
+
+void FluidNetwork::set_completion_handler(std::function<void(const CompletedFlow&)> handler) {
+  on_complete_ = std::move(handler);
+}
+
+FluidNetwork::GatewayState& FluidNetwork::gateway(int g) {
+  return gateways_.at(static_cast<std::size_t>(g));
+}
+
+const FluidNetwork::GatewayState& FluidNetwork::gateway(int g) const {
+  return gateways_.at(static_cast<std::size_t>(g));
+}
+
+FluidNetwork::FlowState& FluidNetwork::flow_by_id(FlowId id) {
+  util::require(id < id_to_index_.size() && id_to_index_[id] != SIZE_MAX,
+                "unknown flow id");
+  return flows_[id_to_index_[id]];
+}
+
+void FluidNetwork::add_flow(FlowId id, int client, int gateway_id, double bytes,
+                            double wireless_cap) {
+  util::require(bytes >= 0.0 && wireless_cap > 0.0,
+                "flows need non-negative bytes and a positive wireless cap");
+  advance(gateway_id);
+
+  FlowState state;
+  state.id = id;
+  state.client = client;
+  state.gateway = gateway_id;
+  state.arrival_time = simulator_->now();
+  state.bytes = bytes;
+  state.remaining_bits = bytes * 8.0;
+  state.wireless_cap = wireless_cap;
+
+  GatewayState& gw = gateway(gateway_id);
+  gw.last_activity = simulator_->now();
+
+  if (state.remaining_bits <= kEpsilonBits) {
+    state.done = true;
+    if (on_complete_) {
+      on_complete_({id, client, gateway_id, state.arrival_time, simulator_->now(), bytes});
+    }
+    return;
+  }
+
+  if (id_to_index_.size() <= id) id_to_index_.resize(id + 1, SIZE_MAX);
+  util::require(id_to_index_[id] == SIZE_MAX, "duplicate flow id");
+  id_to_index_[id] = flows_.size();
+  flows_.push_back(state);
+  gw.flows.push_back(flows_.size() - 1);
+  ++live_flows_;
+  reallocate(gateway_id);
+}
+
+void FluidNetwork::migrate_flow(FlowId id, int new_gateway, double new_wireless_cap) {
+  util::require(new_wireless_cap > 0.0, "migrated flow needs a positive wireless cap");
+  if (id >= id_to_index_.size() || id_to_index_[id] == SIZE_MAX) return;
+  const std::size_t index = id_to_index_[id];
+  if (flows_[index].done) return;
+  const int old_gateway = flows_[index].gateway;
+  if (old_gateway == new_gateway) {
+    flows_[index].wireless_cap = new_wireless_cap;
+    advance(old_gateway);
+    reallocate(old_gateway);
+    return;
+  }
+  advance(old_gateway);
+  advance(new_gateway);
+  // The flow may have completed during advance(old_gateway).
+  if (flows_[index].done) return;
+
+  auto& old_list = gateway(old_gateway).flows;
+  old_list.erase(std::remove(old_list.begin(), old_list.end(), index), old_list.end());
+  flows_[index].gateway = new_gateway;
+  flows_[index].wireless_cap = new_wireless_cap;
+  gateway(new_gateway).flows.push_back(index);
+  reallocate(old_gateway);
+  reallocate(new_gateway);
+}
+
+void FluidNetwork::set_gateway_serving(int gateway_id, bool serving) {
+  GatewayState& gw = gateway(gateway_id);
+  if (gw.serving == serving) return;
+  advance(gateway_id);
+  gw.serving = serving;
+  reallocate(gateway_id);
+}
+
+bool FluidNetwork::gateway_serving(int gateway_id) const { return gateway(gateway_id).serving; }
+
+int FluidNetwork::active_flow_count(int gateway_id) const {
+  return static_cast<int>(gateway(gateway_id).flows.size());
+}
+
+int FluidNetwork::client_flow_count_at(int client, int gateway_id) const {
+  int count = 0;
+  for (std::size_t index : gateway(gateway_id).flows) {
+    if (flows_[index].client == client) ++count;
+  }
+  return count;
+}
+
+double FluidNetwork::client_throughput_at(int client, int gateway_id) const {
+  double total = 0.0;
+  for (std::size_t index : gateway(gateway_id).flows) {
+    if (flows_[index].client == client) total += flows_[index].rate;
+  }
+  return total;
+}
+
+double FluidNetwork::gateway_throughput(int gateway_id) const {
+  return gateway(gateway_id).throughput;
+}
+
+double FluidNetwork::served_bits(int gateway_id, double t0, double t1) const {
+  return gateway(gateway_id).served.integral(t0, t1);
+}
+
+double FluidNetwork::load(int gateway_id, double window) const {
+  util::require(window > 0.0, "load needs a positive window");
+  const GatewayState& gw = gateway(gateway_id);
+  const double t1 = simulator_->now();
+  const double t0 = std::max(t1 - window, 0.0);
+  if (t1 <= t0) return 0.0;
+  return gw.served.integral(t0, t1) / (window * gw.backhaul);
+}
+
+double FluidNetwork::last_activity(int gateway_id) const {
+  return gateway(gateway_id).last_activity;
+}
+
+void FluidNetwork::advance(int gateway_id) {
+  GatewayState& gw = gateway(gateway_id);
+  const double now = simulator_->now();
+  const double dt = now - gw.last_progress;
+  if (dt > 0.0) {
+    if (gw.throughput > 0.0) gw.last_activity = now;
+    gw.last_progress = now;
+  }
+  if (gw.flows.empty()) return;
+
+  // Completion detection runs even for dt == 0: floating-point residue can
+  // leave a flow with a sliver of remaining bits whose service time rounds
+  // to zero, and it must still terminate.
+  std::vector<std::size_t> finished;
+  for (std::size_t index : gw.flows) {
+    FlowState& f = flows_[index];
+    if (dt > 0.0) f.remaining_bits -= f.rate * dt;
+    if (f.remaining_bits <= kEpsilonBits) {
+      f.remaining_bits = 0.0;
+      f.done = true;
+      finished.push_back(index);
+    }
+  }
+  if (finished.empty()) return;
+  gw.flows.erase(std::remove_if(gw.flows.begin(), gw.flows.end(),
+                                [this](std::size_t index) { return flows_[index].done; }),
+                 gw.flows.end());
+  live_flows_ -= static_cast<int>(finished.size());
+  for (std::size_t index : finished) {
+    const FlowState& f = flows_[index];
+    id_to_index_[f.id] = SIZE_MAX;
+    if (on_complete_) {
+      on_complete_({f.id, f.client, f.gateway, f.arrival_time, now, f.bytes});
+    }
+  }
+}
+
+void FluidNetwork::reallocate(int gateway_id) {
+  GatewayState& gw = gateway(gateway_id);
+  const double now = simulator_->now();
+
+  if (gw.completion_event != sim::kInvalidEventId) {
+    simulator_->cancel(gw.completion_event);
+    gw.completion_event = sim::kInvalidEventId;
+  }
+
+  if (!gw.serving || gw.flows.empty()) {
+    for (std::size_t index : gw.flows) flows_[index].rate = 0.0;
+    gw.throughput = 0.0;
+    gw.served.set(now, 0.0);
+    return;
+  }
+
+  std::vector<double> caps;
+  caps.reserve(gw.flows.size());
+  for (std::size_t index : gw.flows) caps.push_back(flows_[index].wireless_cap);
+  const std::vector<double> rates = max_min_allocate(gw.backhaul, caps);
+
+  double total = 0.0;
+  double next_completion = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < gw.flows.size(); ++i) {
+    FlowState& f = flows_[gw.flows[i]];
+    f.rate = rates[i];
+    total += f.rate;
+    if (f.rate > 0.0) {
+      next_completion = std::min(next_completion, now + f.remaining_bits / f.rate);
+    }
+  }
+  gw.throughput = total;
+  gw.served.set(now, total);
+
+  if (std::isfinite(next_completion)) {
+    // Never schedule at (or below) the current instant: with a large clock
+    // value a tiny remaining/rate quotient can round to zero, and a
+    // same-instant event would re-enter this path forever.
+    next_completion = std::max(next_completion, now + kMinEventDelay);
+    gw.completion_event = simulator_->at(next_completion, [this, gateway_id] {
+      gateway(gateway_id).completion_event = sim::kInvalidEventId;
+      advance(gateway_id);
+      reallocate(gateway_id);
+    });
+  }
+}
+
+}  // namespace insomnia::flow

@@ -1,0 +1,326 @@
+#include "opt/gateway_cover.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace insomnia::opt {
+
+namespace {
+
+/// Users with positive demand, sorted by a caller-chosen key.
+std::vector<std::size_t> active_users(const GatewayCoverProblem& problem) {
+  std::vector<std::size_t> ids;
+  for (std::size_t u = 0; u < problem.users.size(); ++u) {
+    if (problem.users[u].demand > 0.0) ids.push_back(u);
+  }
+  return ids;
+}
+
+bool user_can_use(const GatewayCoverProblem& problem, std::size_t user, int gateway) {
+  const auto& feasible = problem.users[user].feasible;
+  return std::find(feasible.begin(), feasible.end(), gateway) != feasible.end();
+}
+
+/// First-fit-decreasing packing of `users` into `residual` capacities over
+/// the open set. Returns per-user gateway or empty on failure. Does not
+/// mutate residual on failure.
+std::vector<int> pack_users(const GatewayCoverProblem& problem,
+                            const std::vector<std::size_t>& users,
+                            const std::vector<int>& open, std::vector<double>& residual) {
+  std::vector<std::size_t> order = users;
+  std::sort(order.begin(), order.end(), [&problem](std::size_t a, std::size_t b) {
+    return problem.users[a].demand > problem.users[b].demand;
+  });
+  std::vector<double> scratch = residual;
+  std::vector<int> chosen(users.size(), -1);
+  std::vector<int> by_user(problem.users.size(), -1);
+  for (std::size_t u : order) {
+    int best = -1;
+    double best_residual = -1.0;
+    for (int j : open) {
+      if (!user_can_use(problem, u, j)) continue;
+      const double r = scratch[static_cast<std::size_t>(j)];
+      if (r >= problem.users[u].demand && r > best_residual) {
+        best = j;
+        best_residual = r;
+      }
+    }
+    if (best < 0) return {};
+    scratch[static_cast<std::size_t>(best)] -= problem.users[u].demand;
+    by_user[u] = best;
+  }
+  residual = scratch;
+  for (std::size_t i = 0; i < users.size(); ++i) chosen[i] = by_user[users[i]];
+  return chosen;
+}
+
+}  // namespace
+
+bool is_feasible(const GatewayCoverProblem& problem, const GatewayCoverSolution& solution) {
+  if (!solution.feasible) return false;
+  if (solution.assignment.size() != problem.users.size()) return false;
+  std::vector<double> used(problem.capacity.size(), 0.0);
+  for (std::size_t u = 0; u < problem.users.size(); ++u) {
+    const int j = solution.assignment[u];
+    if (problem.users[u].demand <= 0.0) continue;
+    if (j < 0 || j >= static_cast<int>(problem.capacity.size())) return false;
+    if (std::find(solution.open.begin(), solution.open.end(), j) == solution.open.end()) {
+      return false;
+    }
+    if (!user_can_use(problem, u, j)) return false;
+    used[static_cast<std::size_t>(j)] += problem.users[u].demand;
+  }
+  for (std::size_t j = 0; j < used.size(); ++j) {
+    if (used[j] > problem.capacity[j] * (1.0 + 1e-9)) return false;
+  }
+  return true;
+}
+
+GatewayCoverSolution solve_greedy(const GatewayCoverProblem& problem) {
+  GatewayCoverSolution solution;
+  solution.assignment.assign(problem.users.size(), -1);
+
+  std::vector<std::size_t> unassigned = active_users(problem);
+  std::vector<double> residual = problem.capacity;
+  std::vector<bool> open_flag(problem.capacity.size(), false);
+
+  // Folds any unassigned user into an already-open gateway with spare
+  // capacity (cheapest users first, best-fit target).
+  auto absorb_into_open = [&] {
+    std::sort(unassigned.begin(), unassigned.end(),
+              [&problem](std::size_t a, std::size_t b) {
+                return problem.users[a].demand < problem.users[b].demand;
+              });
+    for (auto it = unassigned.begin(); it != unassigned.end();) {
+      int best = -1;
+      double best_residual = -1.0;
+      for (int j : problem.users[*it].feasible) {
+        if (!open_flag[static_cast<std::size_t>(j)]) continue;
+        const double r = residual[static_cast<std::size_t>(j)];
+        if (r >= problem.users[*it].demand && r > best_residual) {
+          best = j;
+          best_residual = r;
+        }
+      }
+      if (best >= 0) {
+        solution.assignment[*it] = best;
+        residual[static_cast<std::size_t>(best)] -= problem.users[*it].demand;
+        it = unassigned.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (!unassigned.empty()) {
+    absorb_into_open();
+    if (unassigned.empty()) break;
+    // Score each closed gateway: how many unassigned users (cheapest first)
+    // it could absorb within its capacity.
+    int best_gateway = -1;
+    std::size_t best_count = 0;
+    double best_demand = 0.0;
+    std::vector<std::size_t> best_take;
+    for (int j = 0; j < static_cast<int>(problem.capacity.size()); ++j) {
+      if (open_flag[static_cast<std::size_t>(j)]) continue;
+      std::vector<std::size_t> takers;
+      for (std::size_t u : unassigned) {
+        if (user_can_use(problem, u, j)) takers.push_back(u);
+      }
+      std::sort(takers.begin(), takers.end(), [&problem](std::size_t a, std::size_t b) {
+        return problem.users[a].demand < problem.users[b].demand;
+      });
+      double room = problem.capacity[static_cast<std::size_t>(j)];
+      std::vector<std::size_t> take;
+      double taken_demand = 0.0;
+      for (std::size_t u : takers) {
+        if (problem.users[u].demand > room) break;
+        room -= problem.users[u].demand;
+        taken_demand += problem.users[u].demand;
+        take.push_back(u);
+      }
+      if (take.size() > best_count ||
+          (take.size() == best_count && taken_demand > best_demand)) {
+        best_gateway = j;
+        best_count = take.size();
+        best_demand = taken_demand;
+        best_take = std::move(take);
+      }
+    }
+    if (best_gateway < 0 || best_count == 0) {
+      // Some user cannot be served by any remaining gateway.
+      solution.feasible = false;
+      return solution;
+    }
+    open_flag[static_cast<std::size_t>(best_gateway)] = true;
+    for (std::size_t u : best_take) {
+      solution.assignment[u] = best_gateway;
+      residual[static_cast<std::size_t>(best_gateway)] -= problem.users[u].demand;
+      unassigned.erase(std::remove(unassigned.begin(), unassigned.end(), u), unassigned.end());
+    }
+  }
+
+  // Local search: try to close each open gateway by re-packing its users
+  // into the other open gateways.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::vector<int> open;
+    for (int j = 0; j < static_cast<int>(open_flag.size()); ++j) {
+      if (open_flag[static_cast<std::size_t>(j)]) open.push_back(j);
+    }
+    // Try the most lightly-loaded gateways first.
+    std::vector<double> load(problem.capacity.size(), 0.0);
+    for (std::size_t u = 0; u < problem.users.size(); ++u) {
+      if (solution.assignment[u] >= 0) {
+        load[static_cast<std::size_t>(solution.assignment[u])] += problem.users[u].demand;
+      }
+    }
+    std::sort(open.begin(), open.end(),
+              [&load](int a, int b) { return load[static_cast<std::size_t>(a)] <
+                                             load[static_cast<std::size_t>(b)]; });
+    for (int victim : open) {
+      std::vector<std::size_t> movers;
+      for (std::size_t u = 0; u < problem.users.size(); ++u) {
+        if (solution.assignment[u] == victim) movers.push_back(u);
+      }
+      std::vector<int> others;
+      std::vector<double> others_residual = problem.capacity;
+      for (int j : open) {
+        if (j != victim && open_flag[static_cast<std::size_t>(j)]) others.push_back(j);
+      }
+      for (std::size_t u = 0; u < problem.users.size(); ++u) {
+        const int j = solution.assignment[u];
+        if (j >= 0 && j != victim) {
+          others_residual[static_cast<std::size_t>(j)] -= problem.users[u].demand;
+        }
+      }
+      if (movers.empty()) {
+        open_flag[static_cast<std::size_t>(victim)] = false;
+        improved = true;
+        break;
+      }
+      const std::vector<int> packed = pack_users(problem, movers, others, others_residual);
+      if (packed.size() == movers.size()) {
+        for (std::size_t i = 0; i < movers.size(); ++i) {
+          solution.assignment[movers[i]] = packed[i];
+        }
+        open_flag[static_cast<std::size_t>(victim)] = false;
+        improved = true;
+        break;
+      }
+    }
+  }
+
+  for (int j = 0; j < static_cast<int>(open_flag.size()); ++j) {
+    if (open_flag[static_cast<std::size_t>(j)]) solution.open.push_back(j);
+  }
+  solution.feasible = true;
+  util::require_state(is_feasible(problem, solution), "greedy produced infeasible solution");
+  return solution;
+}
+
+namespace {
+
+/// DFS assigning users (hardest first) to open-or-new gateways.
+struct ExactSearch {
+  const GatewayCoverProblem& problem;
+  std::vector<std::size_t> order;     // user visit order
+  std::vector<double> residual;
+  std::vector<int> open_count_by_id;  // users assigned per gateway (0 = closed)
+  std::vector<int> assignment;        // per user
+  int open_now = 0;
+  int best = std::numeric_limits<int>::max();
+  std::vector<int> best_assignment;
+  std::uint64_t nodes = 0;
+  std::uint64_t budget;
+  bool exhausted_budget = false;
+
+  ExactSearch(const GatewayCoverProblem& p, std::uint64_t node_budget)
+      : problem(p),
+        residual(p.capacity),
+        open_count_by_id(p.capacity.size(), 0),
+        assignment(p.users.size(), -1),
+        budget(node_budget) {}
+
+  void run() {
+    order = active_users(problem);
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      return problem.users[a].demand > problem.users[b].demand;
+    });
+    dfs(0);
+  }
+
+  void dfs(std::size_t depth) {
+    if (++nodes > budget) {
+      exhausted_budget = true;
+      return;
+    }
+    if (open_now >= best) return;  // cannot improve
+    if (depth == order.size()) {
+      best = open_now;
+      best_assignment = assignment;
+      return;
+    }
+    const std::size_t user = order[depth];
+    // First try already-open gateways (no cost), then closed ones. Among
+    // closed ones, identical choices are symmetric; trying each feasible
+    // closed gateway once is still exact and the budget bounds the work.
+    for (int pass = 0; pass < 2 && !exhausted_budget; ++pass) {
+      for (int j : problem.users[user].feasible) {
+        const bool is_open = open_count_by_id[static_cast<std::size_t>(j)] > 0;
+        if ((pass == 0) != is_open) continue;
+        if (residual[static_cast<std::size_t>(j)] < problem.users[user].demand) continue;
+        residual[static_cast<std::size_t>(j)] -= problem.users[user].demand;
+        ++open_count_by_id[static_cast<std::size_t>(j)];
+        if (open_count_by_id[static_cast<std::size_t>(j)] == 1) ++open_now;
+        assignment[user] = j;
+        dfs(depth + 1);
+        assignment[user] = -1;
+        if (open_count_by_id[static_cast<std::size_t>(j)] == 1) --open_now;
+        --open_count_by_id[static_cast<std::size_t>(j)];
+        residual[static_cast<std::size_t>(j)] += problem.users[user].demand;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ExactResult solve_exact(const GatewayCoverProblem& problem, std::uint64_t node_budget) {
+  ExactResult result;
+  // Seed the incumbent with the greedy solution so pruning bites early.
+  GatewayCoverSolution greedy = solve_greedy(problem);
+  ExactSearch search(problem, node_budget);
+  if (greedy.feasible) {
+    search.best = greedy.online_count() + 1;  // allow matching-or-better proof
+  }
+  search.run();
+  result.explored_nodes = search.nodes;
+
+  if (!search.best_assignment.empty()) {
+    GatewayCoverSolution exact;
+    exact.feasible = true;
+    exact.assignment = search.best_assignment;
+    std::vector<bool> open_flag(problem.capacity.size(), false);
+    for (std::size_t u = 0; u < problem.users.size(); ++u) {
+      if (exact.assignment[u] >= 0) {
+        open_flag[static_cast<std::size_t>(exact.assignment[u])] = true;
+      }
+    }
+    for (int j = 0; j < static_cast<int>(open_flag.size()); ++j) {
+      if (open_flag[static_cast<std::size_t>(j)]) exact.open.push_back(j);
+    }
+    result.solution = std::move(exact);
+    result.proven_optimal = !search.exhausted_budget;
+  } else {
+    result.solution = std::move(greedy);
+    result.proven_optimal = false;
+  }
+  return result;
+}
+
+}  // namespace insomnia::opt

@@ -1,0 +1,55 @@
+// Solvers for the paper's Eq. (1): minimise the number of online gateways
+// subject to (i) every active user assigned to a gateway it can reach at
+// its demand, and (ii) gateway capacity q*c_j. The decision problem is
+// NP-complete (SET-COVER), so the per-minute "Optimal" re-solves use a
+// greedy cover with closing-based local search; an exact branch-and-bound
+// is provided for small instances and for bounding the heuristic's gap in
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace insomnia::opt {
+
+/// One user's demand and the gateways that could serve it (those with
+/// wireless capacity w_ij >= demand, per the second constraint of Eq. (1)).
+struct UserDemand {
+  double demand = 0.0;          ///< bits/s the user currently needs
+  std::vector<int> feasible;    ///< gateway ids able to carry the demand
+};
+
+/// A gateway-minimisation instance.
+struct GatewayCoverProblem {
+  std::vector<double> capacity;   ///< per gateway: q * c_j (bits/s)
+  std::vector<UserDemand> users;  ///< only users with demand > 0 need cover
+};
+
+/// A (possibly suboptimal) solution.
+struct GatewayCoverSolution {
+  bool feasible = false;
+  std::vector<int> open;        ///< online gateways, ascending
+  std::vector<int> assignment;  ///< per user: gateway id, or -1 if demand 0
+  int online_count() const { return static_cast<int>(open.size()); }
+};
+
+/// Greedy set-cover with capacity awareness followed by a local search that
+/// tries to close each open gateway by re-packing its users elsewhere.
+/// Runs in polynomial time; used by the per-minute Optimal re-solve.
+GatewayCoverSolution solve_greedy(const GatewayCoverProblem& problem);
+
+/// Exact branch-and-bound minimisation. Intended for small instances
+/// (tests, ablations); gives up and returns the greedy solution flagged
+/// feasible-but-unproven after `node_budget` search nodes.
+struct ExactResult {
+  GatewayCoverSolution solution;
+  bool proven_optimal = false;
+  std::uint64_t explored_nodes = 0;
+};
+ExactResult solve_exact(const GatewayCoverProblem& problem, std::uint64_t node_budget = 2'000'000);
+
+/// Checks feasibility of `solution` against `problem` (used by tests and
+/// by the runtime as a defensive invariant).
+bool is_feasible(const GatewayCoverProblem& problem, const GatewayCoverSolution& solution);
+
+}  // namespace insomnia::opt

@@ -1,0 +1,48 @@
+#include "power/device_power.h"
+
+#include "util/error.h"
+
+namespace insomnia::power {
+
+double DevicePowerModel::watts(PowerState state) const {
+  switch (state) {
+    case PowerState::kAsleep:
+      return asleep_watts;
+    case PowerState::kWaking:
+      return waking_watts;
+    case PowerState::kActive:
+      return active_watts;
+  }
+  throw util::InvalidArgument("unknown PowerState");
+}
+
+namespace defaults {
+
+DevicePowerModel gateway() { return {.active_watts = 9.0, .waking_watts = 9.0, .asleep_watts = 0.0}; }
+
+DevicePowerModel wireless_router() {
+  return {.active_watts = 5.0, .waking_watts = 5.0, .asleep_watts = 0.0};
+}
+
+DevicePowerModel isp_modem() {
+  return {.active_watts = 1.0, .waking_watts = 1.0, .asleep_watts = 0.0};
+}
+
+DevicePowerModel line_card() {
+  return {.active_watts = 98.0, .waking_watts = 98.0, .asleep_watts = 0.0};
+}
+
+DevicePowerModel shelf() {
+  return {.active_watts = 21.0, .waking_watts = 21.0, .asleep_watts = 21.0};
+}
+
+}  // namespace defaults
+
+double no_sleep_watts(const AccessPowerParams& params, int gateways, int line_cards, int ports) {
+  util::require(gateways >= 0 && line_cards >= 0 && ports >= 0,
+                "device counts must be non-negative");
+  return params.gateway.active_watts * gateways + params.shelf.active_watts +
+         params.line_card.active_watts * line_cards + params.isp_modem.active_watts * ports;
+}
+
+}  // namespace insomnia::power

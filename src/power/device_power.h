@@ -1,0 +1,65 @@
+// Power models for every device class in the access network, with the
+// paper's measured defaults (§5.1 "Power consumption"):
+//   * Telsey CPVA642WA ADSL gateway: ~9 W, flat across utilization,
+//   * Netgear WNR3500L wireless router: ~5 W (reference measurement),
+//   * DSLAM (Alcatel ISAM 7302): shelf 21 W typical / 53 W max,
+//   * DSL line card (48-port NVLT-C): 98 W typical / 112 W max,
+//   * per-port ISP modem: ~1 W.
+// Devices are not energy proportional: consumption depends on the power
+// state, not the load — which is precisely the paper's premise.
+#pragma once
+
+namespace insomnia::power {
+
+/// Sleep / wake lifecycle of a sleepable device.
+enum class PowerState {
+  kAsleep,  ///< powered off via Sleep-on-Idle
+  kWaking,  ///< booting/resynchronising: draws power, moves no traffic
+  kActive,  ///< fully operational
+};
+
+/// Per-state power draw of one device, in watts.
+struct DevicePowerModel {
+  double active_watts = 0.0;
+  double waking_watts = 0.0;   ///< boot/resync draw, typically = active
+  double asleep_watts = 0.0;   ///< residual draw while sleeping (WoWLAN listener etc.)
+
+  /// Draw in a given state.
+  double watts(PowerState state) const;
+};
+
+/// Measured defaults used throughout the evaluation.
+namespace defaults {
+
+/// Integrated ADSL gateway (modem + AP + router), Telsey CPVA642WA.
+DevicePowerModel gateway();
+
+/// Wireless router alone, Netgear WNR3500L (reference measurement only).
+DevicePowerModel wireless_router();
+
+/// One DSLAM port's terminating modem.
+DevicePowerModel isp_modem();
+
+/// One DSL line card (shared circuitry, excluding per-port modems).
+DevicePowerModel line_card();
+
+/// DSLAM shelf (common equipment; never sleeps in any scheme).
+DevicePowerModel shelf();
+
+}  // namespace defaults
+
+/// The full parameter set the energy accounting needs.
+struct AccessPowerParams {
+  DevicePowerModel gateway = defaults::gateway();
+  DevicePowerModel isp_modem = defaults::isp_modem();
+  DevicePowerModel line_card = defaults::line_card();
+  DevicePowerModel shelf = defaults::shelf();
+};
+
+/// Total draw of a fully-awake access network: `gateways` user gateways and
+/// a DSLAM with `line_cards` cards and `ports` terminating modems, plus the
+/// shelf. This is the paper's no-sleep baseline (821 W for the §5.1
+/// scenario: 40 gateways, 4 cards, 48 ports).
+double no_sleep_watts(const AccessPowerParams& params, int gateways, int line_cards, int ports);
+
+}  // namespace insomnia::power

@@ -1,0 +1,46 @@
+#include "power/energy_meter.h"
+
+#include "util/error.h"
+
+namespace insomnia::power {
+
+namespace {
+double online_level(PowerState state) {
+  return state == PowerState::kAsleep ? 0.0 : 1.0;
+}
+}  // namespace
+
+DeviceGroupMeter::DeviceGroupMeter(std::string name, DevicePowerModel model, int count,
+                                   double start_time, PowerState initial)
+    : name_(std::move(name)),
+      model_(model),
+      states_(static_cast<std::size_t>(count), initial),
+      power_(start_time, model.watts(initial) * count),
+      current_watts_(model.watts(initial) * count) {
+  util::require(count >= 0, "DeviceGroupMeter needs a non-negative device count");
+  online_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) online_.emplace_back(start_time, online_level(initial));
+}
+
+void DeviceGroupMeter::set_state(int index, PowerState state, double t) {
+  auto& current = states_.at(static_cast<std::size_t>(index));
+  if (current == state) return;
+  current_watts_ += model_.watts(state) - model_.watts(current);
+  current = state;
+  power_.set(t, current_watts_);
+  online_[static_cast<std::size_t>(index)].set(t, online_level(state));
+}
+
+int DeviceGroupMeter::count_in(PowerState state) const {
+  int count = 0;
+  for (PowerState s : states_) {
+    if (s == state) ++count;
+  }
+  return count;
+}
+
+double DeviceGroupMeter::online_time(int index, double t0, double t1) const {
+  return online_.at(static_cast<std::size_t>(index)).integral(t0, t1);
+}
+
+}  // namespace insomnia::power

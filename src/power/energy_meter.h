@@ -1,0 +1,56 @@
+// Energy accounting: per-device-class power time series that integrate to
+// joules exactly (the series are piecewise constant, so no quadrature error).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/device_power.h"
+#include "stats/timeseries.h"
+
+namespace insomnia::power {
+
+/// Tracks the power state of a homogeneous group of devices (e.g. "all 40
+/// gateways") and exposes the group's total draw as a StepSeries.
+///
+/// The meter stores one state per device; each transition updates the
+/// aggregate power level at the simulation time of the change.
+class DeviceGroupMeter {
+ public:
+  /// All `count` devices start in `initial` state at `start_time`.
+  DeviceGroupMeter(std::string name, DevicePowerModel model, int count, double start_time,
+                   PowerState initial);
+
+  /// Records that device `index` enters `state` at time `t` (t must be
+  /// non-decreasing across calls; same-state transitions are no-ops).
+  void set_state(int index, PowerState state, double t);
+
+  /// Current state of device `index`.
+  PowerState state(int index) const { return states_.at(static_cast<std::size_t>(index)); }
+
+  /// Number of devices currently in `state`.
+  int count_in(PowerState state) const;
+
+  /// Total group energy over [t0, t1], joules.
+  double energy(double t0, double t1) const { return power_.integral(t0, t1); }
+
+  /// Aggregate power series (watts over time).
+  const stats::StepSeries& power_series() const { return power_; }
+
+  /// Per-device time spent in kActive or kWaking ("online time") over
+  /// [t0, t1] — the fairness metric of Fig. 9b.
+  double online_time(int index, double t0, double t1) const;
+
+  const std::string& name() const { return name_; }
+  int device_count() const { return static_cast<int>(states_.size()); }
+
+ private:
+  std::string name_;
+  DevicePowerModel model_;
+  std::vector<PowerState> states_;
+  std::vector<stats::StepSeries> online_;  ///< 1 while active/waking, else 0
+  stats::StepSeries power_;
+  double current_watts_;
+};
+
+}  // namespace insomnia::power

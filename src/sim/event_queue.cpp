@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include "util/error.h"
+
+namespace insomnia::sim {
+
+EventId EventQueue::schedule(double t, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_sequence_++, id, std::move(action)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Erase from the pending set only; the heap entry is skipped lazily when
+  // it surfaces (we cannot remove from the middle of a binary heap).
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::skip_dead() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+double EventQueue::next_time() {
+  util::require_state(!pending_.empty(), "next_time on empty EventQueue");
+  skip_dead();
+  return heap_.top().time;
+}
+
+double EventQueue::run_next() {
+  util::require_state(!pending_.empty(), "run_next on empty EventQueue");
+  skip_dead();
+  // Move the action out before popping so the callback may schedule/cancel.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(entry.id);
+  entry.action();
+  return entry.time;
+}
+
+}  // namespace insomnia::sim

@@ -1,0 +1,68 @@
+// A cancellable discrete-event queue. Events are closures ordered by
+// (time, insertion sequence); cancellation is O(1) via lazy deletion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace insomnia::sim {
+
+/// Identifies a scheduled event; can be used to cancel it before it fires.
+using EventId = std::uint64_t;
+
+/// Sentinel meaning "no event".
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Min-heap of timed callbacks with stable FIFO ordering among equal times.
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `t`; returns a cancellation handle.
+  EventId schedule(double t, std::function<void()> action);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired; cancelling an already-fired or invalid id returns false.
+  bool cancel(EventId id);
+
+  /// True if `id` is scheduled and not yet fired or cancelled.
+  bool is_pending(EventId id) const { return pending_.contains(id); }
+
+  /// True if no live events remain.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of live (non-cancelled, unfired) events.
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event; requires !empty().
+  double next_time();
+
+  /// Pops and runs the earliest live event; requires !empty().
+  /// Returns the time at which the event fired.
+  double run_next();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t sequence;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Discards cancelled entries at the top of the heap.
+  void skip_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;  // 0 is kInvalidEventId
+};
+
+}  // namespace insomnia::sim

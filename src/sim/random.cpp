@@ -1,0 +1,95 @@
+#include "sim/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace insomnia::sim {
+
+double Random::uniform(double lo, double hi) {
+  util::require(hi >= lo, "uniform needs hi >= lo");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Random::uniform_int(int lo, int hi) {
+  util::require(hi >= lo, "uniform_int needs hi >= lo");
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Random::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(clamped);
+  return dist(engine_);
+}
+
+double Random::exponential(double mean) {
+  util::require(mean > 0.0, "exponential needs mean > 0");
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double Random::normal(double mean, double stddev) {
+  util::require(stddev >= 0.0, "normal needs stddev >= 0");
+  if (stddev == 0.0) return mean;
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Random::lognormal(double mu, double sigma) {
+  util::require(sigma >= 0.0, "lognormal needs sigma >= 0");
+  std::lognormal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+double Random::bounded_pareto(double alpha, double lo, double hi) {
+  util::require(alpha > 0.0 && lo > 0.0 && hi > lo, "bounded_pareto needs alpha>0, hi>lo>0");
+  // Inverse-transform sampling of the truncated Pareto CDF.
+  const double u = uniform(0.0, 1.0);
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(x, -1.0 / alpha);
+}
+
+int Random::binomial(int n, double p) {
+  util::require(n >= 0, "binomial needs n >= 0");
+  std::binomial_distribution<int> dist(n, std::clamp(p, 0.0, 1.0));
+  return dist(engine_);
+}
+
+int Random::poisson(double mean) {
+  util::require(mean >= 0.0, "poisson needs mean >= 0");
+  if (mean == 0.0) return 0;
+  std::poisson_distribution<int> dist(mean);
+  return dist(engine_);
+}
+
+std::size_t Random::weighted_index(const std::vector<double>& weights) {
+  util::require(!weights.empty(), "weighted_index over empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    util::require(w >= 0.0, "weighted_index needs non-negative weights");
+    total += w;
+  }
+  if (total <= 0.0) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<int>(weights.size()) - 1));
+  }
+  double point = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Random Random::fork() {
+  // Draw two words to decorrelate the child stream from subsequent parent use.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Random(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace insomnia::sim

@@ -1,0 +1,75 @@
+// Deterministic, seedable randomness for simulations. All stochastic code in
+// the library draws through this wrapper so that every experiment is exactly
+// reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace insomnia::sim {
+
+/// A seeded random source with the distributions the simulators need.
+///
+/// Thin wrapper over std::mt19937_64: the point is a single choke-point for
+/// randomness (reproducibility, easy substitution in tests) plus the
+/// heavy-tailed distributions (bounded Pareto, log-normal) that the trace
+/// generator relies on.
+class Random {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Random(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// True with probability p (p clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterised by the *underlying* normal's mu and sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Bounded Pareto on [lo, hi] with tail exponent alpha (> 0). Heavy-tailed
+  /// flow sizes use this; the bound keeps single flows from exceeding what a
+  /// 6 Mbps day could carry.
+  double bounded_pareto(double alpha, double lo, double hi);
+
+  /// Binomially distributed count of successes out of n trials.
+  int binomial(int n, double p);
+
+  /// Poisson with the given mean.
+  int poisson(double mean);
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]; all-zero weights degenerate to uniform choice.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-run streams).
+  Random fork();
+
+  /// Access to the raw engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace insomnia::sim

@@ -1,0 +1,37 @@
+#include "sim/simulator.h"
+
+#include "util/error.h"
+
+namespace insomnia::sim {
+
+EventId Simulator::at(double t, std::function<void()> action) {
+  util::require(t >= now_, "Simulator::at cannot schedule in the past");
+  return queue_.schedule(t, std::move(action));
+}
+
+EventId Simulator::after(double delay, std::function<void()> action) {
+  util::require(delay >= 0.0, "Simulator::after needs delay >= 0");
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+void Simulator::run_until(double end_time) {
+  util::require(end_time >= now_, "Simulator::run_until cannot rewind the clock");
+  while (!queue_.empty() && queue_.next_time() <= end_time) {
+    // Advance the clock before dispatching so the callback observes now()
+    // equal to its own firing time.
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed_;
+  }
+  now_ = end_time;
+}
+
+void Simulator::run_to_completion() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed_;
+  }
+}
+
+}  // namespace insomnia::sim

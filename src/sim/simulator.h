@@ -1,0 +1,54 @@
+// The discrete-event simulation driver: a clock plus the event queue, with
+// absolute and relative scheduling and a bounded run loop.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace insomnia::sim {
+
+/// Discrete-event simulator clock and scheduler.
+///
+/// Time is in seconds and only moves forward. Callbacks receive no
+/// arguments; they capture what they need and may schedule further events.
+class Simulator {
+ public:
+  /// Constructs a simulator whose clock starts at `start_time`.
+  explicit Simulator(double start_time = 0.0) : now_(start_time) {}
+
+  /// Current simulation time.
+  double now() const { return now_; }
+
+  /// Schedules `action` at absolute time `t` (>= now).
+  EventId at(double t, std::function<void()> action);
+
+  /// Schedules `action` `delay` seconds from now (delay >= 0).
+  EventId after(double delay, std::function<void()> action);
+
+  /// Cancels a pending event; returns true if it was still pending.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// True if `id` is scheduled and has not yet fired or been cancelled.
+  bool is_pending(EventId id) const { return queue_.is_pending(id); }
+
+  /// Runs events in order until the queue empties or the next event lies
+  /// beyond `end_time`; the clock finishes exactly at `end_time`.
+  void run_until(double end_time);
+
+  /// Runs all remaining events (use only when the event set is finite).
+  void run_to_completion();
+
+  /// Number of events executed so far.
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Number of pending events.
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  double now_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace insomnia::sim

@@ -1,0 +1,47 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace insomnia::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::fraction_below(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::value_at(double q) const {
+  util::require(!sorted_.empty(), "value_at on empty CDF");
+  util::require(q > 0.0 && q <= 1.0, "CDF order must be in (0,1]");
+  const auto n = static_cast<double>(sorted_.size());
+  auto index = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  index = std::min(index, sorted_.size() - 1);
+  return sorted_[index];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::staircase() const {
+  std::vector<std::pair<double, double>> points;
+  const auto n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    const bool last_of_value = (i + 1 == sorted_.size()) || (sorted_[i + 1] != sorted_[i]);
+    if (last_of_value) {
+      points.emplace_back(sorted_[i], static_cast<double>(i + 1) / n);
+    }
+  }
+  return points;
+}
+
+}  // namespace insomnia::stats

@@ -1,0 +1,39 @@
+// Empirical cumulative distribution functions, used for the QoS (Fig. 9a)
+// and fairness (Fig. 9b) plots.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace insomnia::stats {
+
+/// An empirical CDF built from a sample of doubles.
+class EmpiricalCdf {
+ public:
+  /// Builds the CDF; the sample is copied and sorted. Empty samples are
+  /// permitted (all queries return 0 and value_at throws).
+  explicit EmpiricalCdf(std::vector<double> sample);
+
+  /// P(X <= x).
+  double fraction_at_or_below(double x) const;
+
+  /// P(X < x).
+  double fraction_below(double x) const;
+
+  /// Inverse CDF: smallest sample value v with P(X <= v) >= q, q in (0,1].
+  double value_at(double q) const;
+
+  /// Number of observations.
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Sorted sample, ascending (for plotting CDF staircases).
+  const std::vector<double>& sorted_sample() const { return sorted_; }
+
+  /// Emits (value, cumulative fraction) pairs at each distinct sample value.
+  std::vector<std::pair<double, double>> staircase() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace insomnia::stats

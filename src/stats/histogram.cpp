@@ -1,0 +1,70 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace insomnia::stats {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  util::require(edges_.size() >= 2, "Histogram needs at least two edges");
+  util::require(std::is_sorted(edges_.begin(), edges_.end()) &&
+                    std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+                "Histogram edges must be strictly increasing");
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+Histogram Histogram::uniform(double lo, double hi, std::size_t count) {
+  util::require(hi > lo && count > 0, "Histogram::uniform needs hi>lo and count>0");
+  std::vector<double> edges(count + 1);
+  for (std::size_t i = 0; i <= count; ++i) {
+    edges[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(count);
+  }
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double value, double weight) {
+  if (value < edges_.front()) return;
+  if (value >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const auto bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[bin] += weight;
+}
+
+double Histogram::total_weight() const {
+  double total = overflow_;
+  for (double c : counts_) total += c;
+  return total;
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  const double total = total_weight();
+  return total == 0.0 ? 0.0 : counts_.at(i) / total;
+}
+
+double Histogram::overflow_fraction() const {
+  const double total = total_weight();
+  return total == 0.0 ? 0.0 : overflow_ / total;
+}
+
+std::string Histogram::bin_label(std::size_t i) const {
+  auto fmt = [](double v) {
+    if (v == static_cast<long long>(v)) return std::to_string(static_cast<long long>(v));
+    return util::format_fixed(v, 2);
+  };
+  return fmt(lower_edge(i)) + "-" + fmt(upper_edge(i));
+}
+
+std::vector<double> fig4_gap_bin_edges() {
+  std::vector<double> edges;
+  for (int s = 0; s <= 21; ++s) edges.push_back(static_cast<double>(s));
+  edges.push_back(40.0);
+  edges.push_back(60.0);
+  return edges;
+}
+
+}  // namespace insomnia::stats

@@ -1,0 +1,66 @@
+// Histograms with either uniform or caller-supplied bin edges. Used for the
+// inter-packet-gap analysis of Fig. 4 and several test assertions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace insomnia::stats {
+
+/// Histogram over caller-supplied, strictly-increasing bin edges.
+///
+/// A value v falls in bin i when edges[i] <= v < edges[i+1]. Values below
+/// the first edge are dropped; values at or above the last edge land in the
+/// overflow bin. Weights allow mass-weighted histograms (e.g., "fraction of
+/// idle *time*" rather than "fraction of gaps").
+class Histogram {
+ public:
+  /// Constructs a histogram with `edges` (at least two, strictly increasing).
+  explicit Histogram(std::vector<double> edges);
+
+  /// Convenience factory: `count` uniform bins covering [lo, hi).
+  static Histogram uniform(double lo, double hi, std::size_t count);
+
+  /// Adds an observation with the given weight (default 1).
+  void add(double value, double weight = 1.0);
+
+  /// Number of regular bins (excluding overflow).
+  std::size_t bin_count() const { return counts_.size(); }
+
+  /// Weight accumulated in bin `i`.
+  double bin_weight(std::size_t i) const { return counts_.at(i); }
+
+  /// Weight accumulated at or above the last edge.
+  double overflow_weight() const { return overflow_; }
+
+  /// Total weight including overflow.
+  double total_weight() const;
+
+  /// Fraction of total weight in bin `i`; 0 if the histogram is empty.
+  double bin_fraction(std::size_t i) const;
+
+  /// Fraction of total weight in the overflow bin.
+  double overflow_fraction() const;
+
+  /// Lower edge of bin `i`.
+  double lower_edge(std::size_t i) const { return edges_.at(i); }
+
+  /// Upper edge of bin `i`.
+  double upper_edge(std::size_t i) const { return edges_.at(i + 1); }
+
+  /// Human-readable label "lo-hi" for bin `i` (e.g. "0-1").
+  std::string bin_label(std::size_t i) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double overflow_ = 0.0;
+};
+
+/// The exact bin edges used by the paper's Fig. 4 inter-packet-gap histogram:
+/// one-second bins 0-1 .. 20-21, then 21-40, 40-60, and an implicit >60
+/// overflow bin.
+std::vector<double> fig4_gap_bin_edges();
+
+}  // namespace insomnia::stats

@@ -1,0 +1,61 @@
+// Streaming summary statistics (Welford) and batch quantile helpers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace insomnia::stats {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable; O(1) memory.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double value);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+  /// Number of observations added.
+  std::size_t count() const { return count_; }
+
+  /// Arithmetic mean; 0 if empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest observation; +inf if empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf if empty.
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` using linear
+/// interpolation between order statistics. `values` is copied and sorted.
+double quantile(std::vector<double> values, double q);
+
+/// Returns the median of `values`.
+double median(std::vector<double> values);
+
+/// Arithmetic mean of `values`; 0 if empty.
+double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation of `values`; 0 with fewer than two elements.
+double stddev_of(const std::vector<double>& values);
+
+}  // namespace insomnia::stats

@@ -1,0 +1,112 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace insomnia::stats {
+
+StepSeries::StepSeries(double start_time, double initial_value) {
+  times_.push_back(start_time);
+  values_.push_back(initial_value);
+}
+
+void StepSeries::set(double t, double value) {
+  util::require(t >= times_.back(), "StepSeries::set must move forward in time");
+  if (value == values_.back()) return;
+  if (t == times_.back()) {
+    // Overwrite a zero-width segment instead of storing a duplicate instant.
+    values_.back() = value;
+    if (values_.size() >= 2 && values_[values_.size() - 2] == value) {
+      values_.pop_back();
+      times_.pop_back();
+    }
+    return;
+  }
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+double StepSeries::value_at(double t) const {
+  util::require(t >= times_.front(), "StepSeries::value_at before start of series");
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto index = static_cast<std::size_t>(it - times_.begin()) - 1;
+  return values_[index];
+}
+
+double StepSeries::integral(double t0, double t1) const {
+  util::require(t1 >= t0, "StepSeries::integral needs t1 >= t0");
+  util::require(t0 >= times_.front(), "StepSeries::integral before start of series");
+  if (t0 == t1) return 0.0;
+  double total = 0.0;
+  // Locate the segment containing t0.
+  auto it = std::upper_bound(times_.begin(), times_.end(), t0);
+  auto index = static_cast<std::size_t>(it - times_.begin()) - 1;
+  double cursor = t0;
+  while (cursor < t1) {
+    const double segment_end =
+        (index + 1 < times_.size()) ? std::min(times_[index + 1], t1) : t1;
+    total += values_[index] * (segment_end - cursor);
+    cursor = segment_end;
+    ++index;
+  }
+  return total;
+}
+
+double StepSeries::mean(double t0, double t1) const {
+  util::require(t1 > t0, "StepSeries::mean needs a non-empty interval");
+  return integral(t0, t1) / (t1 - t0);
+}
+
+std::vector<double> StepSeries::binned_means(double t0, double t1, std::size_t bins) const {
+  util::require(bins > 0 && t1 > t0, "StepSeries::binned_means needs bins>0, t1>t0");
+  std::vector<double> means(bins);
+  const double width = (t1 - t0) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double lo = t0 + width * static_cast<double>(i);
+    const double hi = (i + 1 == bins) ? t1 : lo + width;
+    means[i] = integral(lo, hi) / (hi - lo);
+  }
+  return means;
+}
+
+StepSeries sum_series(const std::vector<const StepSeries*>& series, double constant) {
+  util::require(!series.empty(), "sum_series needs at least one input");
+  const double start = series.front()->times_front();
+  for (const StepSeries* s : series) {
+    util::require(s != nullptr && s->times_front() == start,
+                  "sum_series inputs must share a start time");
+  }
+  // Gather every change instant across inputs.
+  std::vector<double> instants;
+  for (const StepSeries* s : series) s->append_change_times(instants);
+  std::sort(instants.begin(), instants.end());
+  instants.erase(std::unique(instants.begin(), instants.end()), instants.end());
+
+  double initial = constant;
+  for (const StepSeries* s : series) initial += s->value_at(start);
+  StepSeries total(start, initial);
+  for (double t : instants) {
+    if (t == start) continue;
+    double value = constant;
+    for (const StepSeries* s : series) value += s->value_at(t);
+    total.set(t, value);
+  }
+  return total;
+}
+
+std::vector<double> elementwise_mean(const std::vector<std::vector<double>>& rows) {
+  util::require(!rows.empty(), "elementwise_mean of zero rows");
+  const std::size_t width = rows.front().size();
+  for (const auto& row : rows) {
+    util::require(row.size() == width, "elementwise_mean rows must share a width");
+  }
+  std::vector<double> mean(width, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < width; ++i) mean[i] += row[i];
+  }
+  for (double& v : mean) v /= static_cast<double>(rows.size());
+  return mean;
+}
+
+}  // namespace insomnia::stats

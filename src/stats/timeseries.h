@@ -1,0 +1,67 @@
+// Piecewise-constant time series: the workhorse for power draw, online
+// gateway counts and utilization over the simulated day. Supports exact
+// integration between arbitrary instants and uniform re-binning, plus
+// element-wise averaging across simulation runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace insomnia::stats {
+
+/// A right-open piecewise-constant function of time.
+///
+/// The series starts at `start_time` with `initial_value`; each `set(t, v)`
+/// records that the value becomes v at time t (t must be non-decreasing
+/// across calls). Queries and integrals are exact.
+class StepSeries {
+ public:
+  /// Creates a series equal to `initial_value` from `start_time` onward.
+  StepSeries(double start_time, double initial_value);
+
+  /// Records a new value from time `t` onward. `t` must be >= the last
+  /// change time. Setting the same value is a no-op (runs are merged).
+  void set(double t, double value);
+
+  /// Value at time `t` (t >= start_time).
+  double value_at(double t) const;
+
+  /// Exact integral of the series over [t0, t1].
+  double integral(double t0, double t1) const;
+
+  /// Mean value over [t0, t1].
+  double mean(double t0, double t1) const;
+
+  /// Averages the series over `bin` consecutive-width bins spanning
+  /// [t0, t1]; returns one mean per bin.
+  std::vector<double> binned_means(double t0, double t1, std::size_t bins) const;
+
+  /// Time of the last recorded change.
+  double last_change_time() const { return times_.back(); }
+
+  /// Start time of the series.
+  double times_front() const { return times_.front(); }
+
+  /// Number of recorded change points (including the initial one).
+  std::size_t change_count() const { return times_.size(); }
+
+  /// Appends every change instant (including the start) to `out`.
+  void append_change_times(std::vector<double>& out) const {
+    out.insert(out.end(), times_.begin(), times_.end());
+  }
+
+ private:
+  std::vector<double> times_;   // change instants, non-decreasing
+  std::vector<double> values_;  // value from times_[i] until times_[i+1]
+};
+
+/// Element-wise mean of equally-sized vectors (used to average binned series
+/// across runs); all inputs must share the same size.
+std::vector<double> elementwise_mean(const std::vector<std::vector<double>>& rows);
+
+/// Sums several step series (plus a constant offset) into one. All inputs
+/// must share the same start time; the result changes wherever any input
+/// changes.
+StepSeries sum_series(const std::vector<const StepSeries*>& series, double constant = 0.0);
+
+}  // namespace insomnia::stats

@@ -1,0 +1,90 @@
+#include "topology/access_topology.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace insomnia::topo {
+
+bool AccessTopology::can_reach(int client, int gateway) const {
+  const auto& reachable = client_gateways.at(static_cast<std::size_t>(client));
+  return std::find(reachable.begin(), reachable.end(), gateway) != reachable.end();
+}
+
+double AccessTopology::mean_gateways_per_client() const {
+  if (client_gateways.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& list : client_gateways) total += static_cast<double>(list.size());
+  return total / static_cast<double>(client_gateways.size());
+}
+
+std::vector<int> assign_homes_balanced(int client_count, int gateway_count, sim::Random& rng) {
+  util::require(client_count >= 0 && gateway_count > 0,
+                "home assignment needs gateways and non-negative clients");
+  std::vector<int> homes(static_cast<std::size_t>(client_count));
+  for (int i = 0; i < client_count; ++i) homes[static_cast<std::size_t>(i)] = i % gateway_count;
+  rng.shuffle(homes);
+  return homes;
+}
+
+AccessTopology make_overlap_topology(int client_count, const DegreeSequenceConfig& degrees,
+                                     sim::Random& rng) {
+  const auto sequence = sample_degree_sequence(degrees, rng);
+  const Graph graph = generate_connected_graph(sequence, rng);
+
+  AccessTopology topology;
+  topology.gateway_count = degrees.node_count;
+  topology.home_gateway = assign_homes_balanced(client_count, degrees.node_count, rng);
+  topology.client_gateways.resize(static_cast<std::size_t>(client_count));
+  for (int client = 0; client < client_count; ++client) {
+    const int home = topology.home_gateway[static_cast<std::size_t>(client)];
+    auto& reachable = topology.client_gateways[static_cast<std::size_t>(client)];
+    reachable.push_back(home);
+    for (int neighbor : graph.neighbors(home)) reachable.push_back(neighbor);
+  }
+  return topology;
+}
+
+AccessTopology make_binomial_topology(int client_count, int gateway_count,
+                                      double mean_gateways, sim::Random& rng) {
+  util::require(mean_gateways >= 1.0, "a client always reaches at least its home gateway");
+  util::require(mean_gateways <= static_cast<double>(gateway_count),
+                "mean gateways cannot exceed the gateway count");
+  const double q =
+      gateway_count > 1
+          ? (mean_gateways - 1.0) / static_cast<double>(gateway_count - 1)
+          : 0.0;
+
+  AccessTopology topology;
+  topology.gateway_count = gateway_count;
+  topology.home_gateway = assign_homes_balanced(client_count, gateway_count, rng);
+  topology.client_gateways.resize(static_cast<std::size_t>(client_count));
+  for (int client = 0; client < client_count; ++client) {
+    const int home = topology.home_gateway[static_cast<std::size_t>(client)];
+    auto& reachable = topology.client_gateways[static_cast<std::size_t>(client)];
+    reachable.push_back(home);
+    for (int gw = 0; gw < gateway_count; ++gw) {
+      if (gw != home && rng.bernoulli(q)) reachable.push_back(gw);
+    }
+  }
+  return topology;
+}
+
+AccessTopology limit_gateways_per_client(const AccessTopology& topology, int max_gateways,
+                                         sim::Random& rng) {
+  util::require(max_gateways >= 1, "clients must keep at least the home gateway");
+  AccessTopology limited = topology;
+  for (auto& reachable : limited.client_gateways) {
+    if (static_cast<int>(reachable.size()) <= max_gateways) continue;
+    // Keep home (front), shuffle the rest and truncate.
+    std::vector<int> others(reachable.begin() + 1, reachable.end());
+    rng.shuffle(others);
+    others.resize(static_cast<std::size_t>(max_gateways - 1));
+    reachable.assign(1, reachable.front());
+    reachable.insert(reachable.end(), others.begin(), others.end());
+  }
+  return limited;
+}
+
+}  // namespace insomnia::topo

@@ -1,0 +1,54 @@
+// The client-side reachability structure consumed by the schemes: which
+// gateways each client can associate with, and which gateway is "home".
+#pragma once
+
+#include <vector>
+
+#include "sim/random.h"
+#include "topology/degree_sequence.h"
+#include "topology/overlap_graph.h"
+
+namespace insomnia::topo {
+
+/// Client <-> gateway reachability for one scenario.
+///
+/// `client_gateways[i]` lists the gateways client i can use; the home
+/// gateway is always first. Invariant: every client can reach its home.
+struct AccessTopology {
+  int gateway_count = 0;
+  std::vector<int> home_gateway;                 ///< per client
+  std::vector<std::vector<int>> client_gateways;  ///< per client, home first
+
+  int client_count() const { return static_cast<int>(home_gateway.size()); }
+
+  /// True if `client` can reach `gateway`.
+  bool can_reach(int client, int gateway) const;
+
+  /// Mean number of gateways in range of a client (the paper's 5.6).
+  double mean_gateways_per_client() const;
+};
+
+/// Balanced uniform assignment of clients to home gateways ("we uniformly
+/// distribute the 272 clients over the 40 gateways"): a shuffled round-robin
+/// so counts differ by at most one.
+std::vector<int> assign_homes_balanced(int client_count, int gateway_count, sim::Random& rng);
+
+/// Builds the paper's evaluation topology: a prescribed-degree connected
+/// overlap graph between gateways; each client reaches its home gateway plus
+/// the home's graph neighbours.
+AccessTopology make_overlap_topology(int client_count, const DegreeSequenceConfig& degrees,
+                                     sim::Random& rng);
+
+/// Builds the Fig. 10 density-sweep topology: each client reaches home plus
+/// a Binomial(gateway_count-1, q) set of others, with q chosen so the mean
+/// number of reachable gateways equals `mean_gateways` (>= 1).
+AccessTopology make_binomial_topology(int client_count, int gateway_count,
+                                      double mean_gateways, sim::Random& rng);
+
+/// Restricts a topology so no client reaches more than `max_gateways`
+/// networks (home always kept; extras dropped at random). Models the
+/// 3-gateway limit of the paper's live testbed (§5.3).
+AccessTopology limit_gateways_per_client(const AccessTopology& topology, int max_gateways,
+                                         sim::Random& rng);
+
+}  // namespace insomnia::topo

@@ -1,0 +1,66 @@
+#include "topology/degree_sequence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace insomnia::topo {
+
+std::vector<int> sample_degree_sequence(const DegreeSequenceConfig& config, sim::Random& rng) {
+  util::require(config.node_count >= 2, "degree sequence needs at least two nodes");
+  util::require(config.mean_degree >= config.min_degree,
+                "mean degree below the minimum degree");
+  const int max_degree = config.node_count - 1;
+  // Log-normal with median chosen so that the post-clamp mean lands close to
+  // the target: mu = ln(mean) - sigma^2/2 makes the *continuous* mean equal
+  // to the target before discretisation.
+  const double mu = std::log(config.mean_degree) - config.sigma * config.sigma / 2.0;
+
+  std::vector<int> degrees(static_cast<std::size_t>(config.node_count));
+  while (true) {
+    for (auto& d : degrees) {
+      const double sample = rng.lognormal(mu, config.sigma);
+      d = std::clamp(static_cast<int>(std::lround(sample)), config.min_degree, max_degree);
+    }
+    // Make the sum even by nudging one node.
+    int sum = std::accumulate(degrees.begin(), degrees.end(), 0);
+    if (sum % 2 != 0) {
+      for (auto& d : degrees) {
+        if (d < max_degree) {
+          ++d;
+          ++sum;
+          break;
+        }
+      }
+    }
+    if (sum % 2 == 0 && is_graphical(degrees)) return degrees;
+  }
+}
+
+bool is_graphical(std::vector<int> degrees) {
+  // Erdos-Gallai: sort descending; for each k check
+  //   sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k).
+  if (degrees.empty()) return true;
+  for (int d : degrees) {
+    if (d < 0 || d >= static_cast<int>(degrees.size())) return false;
+  }
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  long long total = std::accumulate(degrees.begin(), degrees.end(), 0LL);
+  if (total % 2 != 0) return false;
+
+  const int n = static_cast<int>(degrees.size());
+  long long prefix = 0;
+  for (int k = 1; k <= n; ++k) {
+    prefix += degrees[static_cast<std::size_t>(k - 1)];
+    long long bound = static_cast<long long>(k) * (k - 1);
+    for (int i = k; i < n; ++i) {
+      bound += std::min(degrees[static_cast<std::size_t>(i)], k);
+    }
+    if (prefix > bound) return false;
+  }
+  return true;
+}
+
+}  // namespace insomnia::topo

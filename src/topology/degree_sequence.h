@@ -1,0 +1,31 @@
+// Degree-sequence sampling for the wireless overlap graph. The paper builds
+// its topology so that "node degrees follow the distribution of
+// per-household wireless networks in a residential area" with a resulting
+// mean of 5.6 networks in range of a client (home + neighbours), i.e. a mean
+// gateway degree of ~4.6.
+#pragma once
+
+#include <vector>
+
+#include "sim/random.h"
+
+namespace insomnia::topo {
+
+/// Parameters of the residential degree model: a discretised log-normal
+/// (right-skewed, like measured AP densities) clamped to [min_degree,
+/// node_count-1] and adjusted to an even sum so the sequence is realisable.
+struct DegreeSequenceConfig {
+  int node_count = 40;
+  double mean_degree = 4.6;  ///< target mean; 1 + mean = networks in client range
+  double sigma = 0.45;       ///< shape of the log-normal spread
+  int min_degree = 1;        ///< keep the graph free of isolated gateways
+};
+
+/// Samples a graphical degree sequence with (approximately) the requested
+/// mean. The sum is forced even; values are clamped to [min_degree, n-1].
+std::vector<int> sample_degree_sequence(const DegreeSequenceConfig& config, sim::Random& rng);
+
+/// Erdos-Gallai test: can `degrees` be realised by a simple graph?
+bool is_graphical(std::vector<int> degrees);
+
+}  // namespace insomnia::topo

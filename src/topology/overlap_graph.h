@@ -1,0 +1,57 @@
+// Simple undirected graphs with prescribed degrees, in the style of
+// Viger-Latapy [37]: realise the sequence (Havel-Hakimi), randomise with
+// degree-preserving double-edge swaps, then restore connectivity with
+// component-merging swaps.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace insomnia::topo {
+
+/// An undirected simple graph over nodes 0..n-1 stored as adjacency sets.
+class Graph {
+ public:
+  /// Creates an edgeless graph with `node_count` nodes.
+  explicit Graph(int node_count);
+
+  int node_count() const { return static_cast<int>(adjacency_.size()); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// True if the undirected edge {a,b} exists.
+  bool has_edge(int a, int b) const;
+
+  /// Adds edge {a,b}; no-op if present. Self-loops are rejected.
+  void add_edge(int a, int b);
+
+  /// Removes edge {a,b}; no-op if absent.
+  void remove_edge(int a, int b);
+
+  /// Neighbours of `node`, ascending.
+  std::vector<int> neighbors(int node) const;
+
+  int degree(int node) const;
+
+  /// True if the graph is connected (n==0 and n==1 count as connected).
+  bool is_connected() const;
+
+  /// All edges as (a < b) pairs.
+  std::vector<std::pair<int, int>> edges() const;
+
+ private:
+  std::vector<std::set<int>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Builds a connected simple graph realising `degrees` (must be graphical
+/// with even sum and sum >= 2(n-1) for connectivity to be achievable).
+/// `shuffle_rounds` controls the number of randomising double-edge swaps per
+/// edge (default 10 passes).
+Graph generate_connected_graph(const std::vector<int>& degrees, sim::Random& rng,
+                               int shuffle_rounds = 10);
+
+}  // namespace insomnia::topo

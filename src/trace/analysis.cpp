@@ -1,0 +1,91 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace insomnia::trace {
+
+std::vector<double> hourly_gateway_utilization(const FlowTrace& flows,
+                                               const std::vector<int>& home_gateway,
+                                               int gateway_count, double backhaul_rate) {
+  util::require(gateway_count > 0 && backhaul_rate > 0.0,
+                "utilization needs gateways and a positive rate");
+  // bytes[gateway][hour]
+  std::vector<std::vector<double>> bytes(static_cast<std::size_t>(gateway_count),
+                                         std::vector<double>(24, 0.0));
+  for (const FlowRecord& flow : flows) {
+    util::require(flow.client >= 0 &&
+                      static_cast<std::size_t>(flow.client) < home_gateway.size(),
+                  "flow references unknown client");
+    const int gateway = home_gateway[static_cast<std::size_t>(flow.client)];
+    const int hour =
+        std::clamp(static_cast<int>(flow.start_time / util::kSecondsPerHour), 0, 23);
+    bytes[static_cast<std::size_t>(gateway)][static_cast<std::size_t>(hour)] += flow.bytes;
+  }
+  const double hour_capacity_bytes = backhaul_rate * util::kSecondsPerHour / 8.0;
+  std::vector<double> mean_utilization(24, 0.0);
+  for (int hour = 0; hour < 24; ++hour) {
+    double total = 0.0;
+    for (int gw = 0; gw < gateway_count; ++gw) {
+      total += bytes[static_cast<std::size_t>(gw)][static_cast<std::size_t>(hour)] /
+               hour_capacity_bytes;
+    }
+    mean_utilization[static_cast<std::size_t>(hour)] = total / gateway_count;
+  }
+  return mean_utilization;
+}
+
+stats::Histogram inter_packet_gap_idle_histogram(const PacketTrace& packets,
+                                                 const std::vector<int>& home_gateway,
+                                                 int gateway_count, double window_start,
+                                                 double window_end) {
+  util::require(window_end > window_start, "gap histogram needs a non-empty window");
+  stats::Histogram histogram(stats::fig4_gap_bin_edges());
+  // Last packet time per gateway within the window.
+  std::vector<double> last_time(static_cast<std::size_t>(gateway_count), window_start);
+  for (const PacketRecord& packet : packets) {
+    if (packet.time < window_start || packet.time >= window_end) continue;
+    const auto gw = static_cast<std::size_t>(home_gateway[static_cast<std::size_t>(packet.client)]);
+    const double gap = packet.time - last_time[gw];
+    if (gap > 0.0) histogram.add(gap, gap);
+    last_time[gw] = packet.time;
+  }
+  for (int gw = 0; gw < gateway_count; ++gw) {
+    const double tail = window_end - last_time[static_cast<std::size_t>(gw)];
+    if (tail > 0.0) histogram.add(tail, tail);
+  }
+  return histogram;
+}
+
+double idle_fraction_below(const stats::Histogram& gap_histogram, double threshold) {
+  double covered = 0.0;
+  for (std::size_t i = 0; i < gap_histogram.bin_count(); ++i) {
+    if (gap_histogram.upper_edge(i) <= threshold) covered += gap_histogram.bin_fraction(i);
+  }
+  return covered;
+}
+
+double soi_sleep_bound(const PacketTrace& packets, const std::vector<int>& home_gateway,
+                       int gateway_count, double window_start, double window_end,
+                       double idle_timeout) {
+  util::require(window_end > window_start, "sleep bound needs a non-empty window");
+  util::require(idle_timeout >= 0.0, "idle timeout must be non-negative");
+  std::vector<double> last_time(static_cast<std::size_t>(gateway_count), window_start);
+  double sleepable = 0.0;
+  for (const PacketRecord& packet : packets) {
+    if (packet.time < window_start || packet.time >= window_end) continue;
+    const auto gw =
+        static_cast<std::size_t>(home_gateway[static_cast<std::size_t>(packet.client)]);
+    sleepable += std::max(0.0, packet.time - last_time[gw] - idle_timeout);
+    last_time[gw] = packet.time;
+  }
+  for (int gw = 0; gw < gateway_count; ++gw) {
+    sleepable +=
+        std::max(0.0, window_end - last_time[static_cast<std::size_t>(gw)] - idle_timeout);
+  }
+  return sleepable / ((window_end - window_start) * gateway_count);
+}
+
+}  // namespace insomnia::trace

@@ -1,0 +1,44 @@
+// Trace analyses used by Figs. 3 and 4: per-gateway utilization time series
+// and the "share of idle time by inter-packet gap size" histogram.
+#pragma once
+
+#include <vector>
+
+#include "stats/histogram.h"
+#include "trace/records.h"
+
+namespace insomnia::trace {
+
+/// Computes the mean downlink utilization across gateways for each hour of
+/// the day: sum of bytes offered to a gateway in the hour divided by what
+/// `backhaul_rate` (bits/s) could carry. `home_gateway[client]` maps clients
+/// to gateways; `gateway_count` sizes the aggregation.
+std::vector<double> hourly_gateway_utilization(const FlowTrace& flows,
+                                               const std::vector<int>& home_gateway,
+                                               int gateway_count, double backhaul_rate);
+
+/// Builds the Fig. 4 histogram: for every gateway, consecutive-packet gaps
+/// within [window_start, window_end) contribute their *duration* to the bin
+/// of their size, so bin_fraction() reads as "share of total idle time".
+/// Window edges also delimit gaps (a lone packet leaves window-long gaps on
+/// both sides).
+stats::Histogram inter_packet_gap_idle_histogram(const PacketTrace& packets,
+                                                 const std::vector<int>& home_gateway,
+                                                 int gateway_count, double window_start,
+                                                 double window_end);
+
+/// Fraction of total idle time contributed by gaps strictly shorter than
+/// `threshold` seconds — the paper's ">80 % of idle time in gaps < 60 s".
+double idle_fraction_below(const stats::Histogram& gap_histogram, double threshold);
+
+/// Upper bound on the fraction of [window_start, window_end) that gateways
+/// could spend asleep under ideal Sleep-on-Idle with the given idle timeout:
+/// only the part of each inter-packet gap beyond the timeout is sleepable
+/// (and the wake-up must complete before the next packet, which this ideal
+/// bound ignores). This quantifies §2.4's "continuous light traffic
+/// effectively condemns the SoI technique to a maximum saving of only 20 %".
+double soi_sleep_bound(const PacketTrace& packets, const std::vector<int>& home_gateway,
+                       int gateway_count, double window_start, double window_end,
+                       double idle_timeout);
+
+}  // namespace insomnia::trace

@@ -1,0 +1,53 @@
+#include "trace/diurnal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace insomnia::trace {
+
+DiurnalProfile::DiurnalProfile(std::array<double, 24> hourly) : hourly_(hourly) {
+  for (double v : hourly_) {
+    util::require(v >= 0.0 && v <= 1.0, "diurnal intensities must be in [0,1]");
+  }
+}
+
+double DiurnalProfile::at(double t) const {
+  double day_seconds = std::fmod(t, util::kSecondsPerDay);
+  if (day_seconds < 0.0) day_seconds += util::kSecondsPerDay;
+  const double hour_position = day_seconds / util::kSecondsPerHour;
+  const int hour = static_cast<int>(hour_position) % 24;
+  const int next_hour = (hour + 1) % 24;
+  const double fraction = hour_position - std::floor(hour_position);
+  return hourly_[hour] + fraction * (hourly_[next_hour] - hourly_[hour]);
+}
+
+double DiurnalProfile::peak() const {
+  return *std::max_element(hourly_.begin(), hourly_.end());
+}
+
+int DiurnalProfile::peak_hour() const {
+  return static_cast<int>(std::max_element(hourly_.begin(), hourly_.end()) - hourly_.begin());
+}
+
+DiurnalProfile DiurnalProfile::ucsd_office() {
+  return DiurnalProfile({0.030, 0.020, 0.015, 0.015, 0.015, 0.020, 0.030, 0.10,
+                         0.22, 0.40, 0.55, 0.65, 0.70, 0.80, 0.90, 0.97,
+                         1.00, 0.95, 0.80, 0.60, 0.45, 0.30, 0.15, 0.06});
+}
+
+DiurnalProfile DiurnalProfile::residential() {
+  return DiurnalProfile({0.45, 0.30, 0.20, 0.12, 0.10, 0.10, 0.12, 0.18,
+                         0.25, 0.32, 0.40, 0.45, 0.50, 0.52, 0.50, 0.52,
+                         0.58, 0.65, 0.72, 0.80, 0.90, 1.00, 0.95, 0.70});
+}
+
+DiurnalProfile DiurnalProfile::flat(double level) {
+  std::array<double, 24> hourly;
+  hourly.fill(level);
+  return DiurnalProfile(hourly);
+}
+
+}  // namespace insomnia::trace

@@ -1,0 +1,45 @@
+// Diurnal (time-of-day) intensity profiles. A profile maps a time of day to
+// a relative activity level in [0, 1]; the trace generators modulate their
+// arrival processes with it (non-homogeneous Poisson via thinning).
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace insomnia::trace {
+
+/// Piecewise-linear periodic intensity over a 24 h day.
+///
+/// Defined by 24 hourly control points; values between control points are
+/// linearly interpolated and the profile wraps at midnight.
+class DiurnalProfile {
+ public:
+  /// Builds a profile from 24 hourly intensities (each in [0, 1]).
+  explicit DiurnalProfile(std::array<double, 24> hourly);
+
+  /// Intensity at time-of-day `t` seconds (t is taken modulo 24 h).
+  double at(double t) const;
+
+  /// Largest control-point intensity.
+  double peak() const;
+
+  /// Hour (0-23) whose control point is the largest.
+  int peak_hour() const;
+
+  /// The profile shaped like the UCSD CS-building wireless activity used by
+  /// the paper (Fig. 3): low at night, ramping through the morning and
+  /// peaking at 16-17 h.
+  static DiurnalProfile ucsd_office();
+
+  /// A residential broadband profile (Fig. 2): afternoon ramp with an
+  /// evening peak around 21-22 h and a minimum in the early morning.
+  static DiurnalProfile residential();
+
+  /// A flat profile at the given level (testing and sensitivity runs).
+  static DiurnalProfile flat(double level);
+
+ private:
+  std::array<double, 24> hourly_;
+};
+
+}  // namespace insomnia::trace

@@ -1,0 +1,51 @@
+#include "trace/flow_ops.h"
+
+#include <set>
+
+#include "util/error.h"
+
+namespace insomnia::trace {
+
+FlowTrace window_trace(const FlowTrace& flows, double start, double end) {
+  util::require(end > start, "window_trace needs end > start");
+  FlowTrace out;
+  for (const FlowRecord& flow : flows) {
+    if (flow.start_time < start || flow.start_time >= end) continue;
+    out.push_back({flow.start_time - start, flow.client, flow.bytes});
+  }
+  return out;
+}
+
+FlowTrace fold_clients(const FlowTrace& flows, const std::vector<int>& client_map) {
+  FlowTrace out;
+  for (const FlowRecord& flow : flows) {
+    util::require(flow.client >= 0 &&
+                      static_cast<std::size_t>(flow.client) < client_map.size(),
+                  "fold_clients: flow references a client outside the map");
+    const int mapped = client_map[static_cast<std::size_t>(flow.client)];
+    if (mapped < 0) continue;
+    out.push_back({flow.start_time, mapped, flow.bytes});
+  }
+  return out;
+}
+
+FlowTrace scale_volume(const FlowTrace& flows, double factor) {
+  util::require(factor > 0.0, "scale_volume needs a positive factor");
+  FlowTrace out = flows;
+  for (FlowRecord& flow : out) flow.bytes *= factor;
+  return out;
+}
+
+double total_bytes(const FlowTrace& flows) {
+  double total = 0.0;
+  for (const FlowRecord& flow : flows) total += flow.bytes;
+  return total;
+}
+
+int distinct_clients(const FlowTrace& flows) {
+  std::set<int> clients;
+  for (const FlowRecord& flow : flows) clients.insert(flow.client);
+  return static_cast<int>(clients.size());
+}
+
+}  // namespace insomnia::trace

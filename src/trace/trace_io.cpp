@@ -1,0 +1,56 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace insomnia::trace {
+
+void write_flow_trace(std::ostream& out, const FlowTrace& flows) {
+  util::CsvWriter writer(out);
+  writer.header({"start_time", "client", "bytes"});
+  for (const FlowRecord& flow : flows) {
+    writer.row({static_cast<double>(flow.start_time), static_cast<double>(flow.client),
+                flow.bytes});
+  }
+}
+
+FlowTrace read_flow_trace(std::istream& in) {
+  const util::CsvDocument doc = util::parse_csv(in, /*has_header=*/true);
+  util::require(doc.header.size() == 3, "flow trace must have 3 columns");
+  FlowTrace flows;
+  flows.reserve(doc.rows.size());
+  double last_time = -1.0;
+  for (const auto& row : doc.rows) {
+    util::require(row.size() == 3, "flow trace row must have 3 fields");
+    FlowRecord record;
+    try {
+      record.start_time = std::stod(row[0]);
+      record.client = std::stoi(row[1]);
+      record.bytes = std::stod(row[2]);
+    } catch (const std::exception&) {
+      throw util::InvalidArgument("malformed flow trace row");
+    }
+    util::require(record.start_time >= last_time, "flow trace must be sorted by time");
+    util::require(record.bytes >= 0.0, "flow bytes must be non-negative");
+    last_time = record.start_time;
+    flows.push_back(record);
+  }
+  return flows;
+}
+
+void save_flow_trace(const std::string& path, const FlowTrace& flows) {
+  std::ofstream out(path);
+  util::require(out.good(), "cannot open trace file for writing: " + path);
+  write_flow_trace(out, flows);
+}
+
+FlowTrace load_flow_trace(const std::string& path) {
+  std::ifstream in(path);
+  util::require(in.good(), "cannot open trace file for reading: " + path);
+  return read_flow_trace(in);
+}
+
+}  // namespace insomnia::trace

@@ -1,0 +1,23 @@
+// CSV import/export for flow traces, so generated workloads can be saved,
+// inspected, and replayed byte-identically across machines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/records.h"
+
+namespace insomnia::trace {
+
+/// Writes `flows` as CSV (`start_time,client,bytes`) with a header row.
+void write_flow_trace(std::ostream& out, const FlowTrace& flows);
+
+/// Parses a flow trace written by write_flow_trace. Rows must be sorted by
+/// start time; throws util::InvalidArgument on malformed input.
+FlowTrace read_flow_trace(std::istream& in);
+
+/// Convenience: writes to / reads from a file path.
+void save_flow_trace(const std::string& path, const FlowTrace& flows);
+FlowTrace load_flow_trace(const std::string& path);
+
+}  // namespace insomnia::trace

@@ -1,0 +1,44 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace insomnia::util {
+
+void CsvWriter::comment(const std::string& text) { *out_ << "# " << text << '\n'; }
+
+void CsvWriter::header(const std::vector<std::string>& names) { row(names); }
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  *out_ << join(fields, ",") << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values, int decimals) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_fixed(v, decimals));
+  row(fields);
+}
+
+CsvDocument parse_csv(std::istream& in, bool has_header) {
+  CsvDocument doc;
+  std::string line;
+  bool header_pending = has_header;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto fields = split(trimmed, ',');
+    for (auto& f : fields) f = std::string(trim(f));
+    if (header_pending) {
+      doc.header = std::move(fields);
+      header_pending = false;
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  return doc;
+}
+
+}  // namespace insomnia::util

@@ -1,0 +1,44 @@
+// Minimal CSV reading/writing used for trace import/export and benchmark
+// output. The dialect is deliberately simple: comma separator, no quoting
+// (our fields are numeric or identifier-like), '#' comment lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace insomnia::util {
+
+/// Writes rows of string fields as CSV to an output stream.
+class CsvWriter {
+ public:
+  /// Constructs a writer over `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes a '#'-prefixed comment line.
+  void comment(const std::string& text);
+
+  /// Writes a header row.
+  void header(const std::vector<std::string>& names);
+
+  /// Writes one data row of preformatted fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Writes one data row of doubles formatted with `decimals` digits.
+  void row(const std::vector<double>& values, int decimals = 6);
+
+ private:
+  std::ostream* out_;
+};
+
+/// A fully-parsed CSV document: optional header plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. If `has_header` the first non-comment line becomes the
+/// header. Comment ('#') and blank lines are skipped.
+CsvDocument parse_csv(std::istream& in, bool has_header);
+
+}  // namespace insomnia::util

@@ -1,0 +1,33 @@
+// Error-handling helpers: a library-wide exception type and a lightweight
+// precondition checker. Following the C++ Core Guidelines (I.5, E.x) we
+// validate preconditions at API boundaries and throw rather than abort.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace insomnia::util {
+
+/// Exception thrown on violated preconditions or invalid configuration.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when an operation is attempted in an illegal state.
+class InvalidState : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws InvalidArgument with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+/// Throws InvalidState with `message` unless `condition` holds.
+inline void require_state(bool condition, const std::string& message) {
+  if (!condition) throw InvalidState(message);
+}
+
+}  // namespace insomnia::util

@@ -1,0 +1,57 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace insomnia::util {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << value;
+  return out.str();
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(separator);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+}  // namespace insomnia::util

@@ -1,0 +1,28 @@
+// Small string utilities shared by the CSV reader and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace insomnia::util {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Formats `value` with `decimals` digits after the point (fixed notation).
+std::string format_fixed(double value, int decimals);
+
+/// Formats `fraction` (0..1) as a percentage with `decimals` digits.
+std::string format_percent(double fraction, int decimals);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts, std::string_view separator);
+
+}  // namespace insomnia::util

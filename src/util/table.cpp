@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace insomnia::util {
+
+void TextTable::set_header(std::vector<std::string> names) { header_ = std::move(names); }
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(header_.empty() || cells.size() == header_.size(),
+          "TextTable row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::vector<double>& values, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_fixed(v, decimals));
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << cells[i];
+      if (i + 1 < cells.size()) {
+        out << std::string(widths[i] - cells[i].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace insomnia::util

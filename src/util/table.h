@@ -1,0 +1,35 @@
+// Fixed-width console table printer used by the benchmark harnesses to emit
+// paper-style rows ("Fig. 6: time, savings per scheme, ...").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace insomnia::util {
+
+/// Accumulates rows and prints them column-aligned.
+class TextTable {
+ public:
+  /// Sets the column headers; defines the column count.
+  void set_header(std::vector<std::string> names);
+
+  /// Appends a row of preformatted cells; must match the column count if a
+  /// header was set.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row of doubles formatted with `decimals` digits.
+  void add_row(const std::vector<double>& values, int decimals = 3);
+
+  /// Prints the table with 2-space column gaps and a rule under the header.
+  void print(std::ostream& out) const;
+
+  /// Number of data rows currently held.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace insomnia::util

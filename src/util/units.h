@@ -1,0 +1,71 @@
+// Unit conversions and strongly-hinted numeric helpers used across the
+// library. Conventions (documented once, used everywhere):
+//   - time is measured in seconds (double),
+//   - data rates in bits per second (double),
+//   - data volumes in bits (double; traces record bytes and convert),
+//   - power in watts, energy in joules,
+//   - signal levels in dB / dBm where noted.
+#pragma once
+
+#include <cmath>
+
+namespace insomnia::util {
+
+// --- time ----------------------------------------------------------------
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kHoursPerYear = 8760.0;
+
+/// Converts hours (possibly fractional) to seconds.
+constexpr double hours(double h) { return h * kSecondsPerHour; }
+
+/// Converts minutes to seconds.
+constexpr double minutes(double m) { return m * kSecondsPerMinute; }
+
+// --- data ----------------------------------------------------------------
+
+/// Converts megabits per second to bits per second.
+constexpr double mbps(double rate) { return rate * 1e6; }
+
+/// Converts kilobits per second to bits per second.
+constexpr double kbps(double rate) { return rate * 1e3; }
+
+/// Converts bytes to bits.
+constexpr double bytes_to_bits(double bytes) { return bytes * 8.0; }
+
+/// Converts bits to megabits.
+constexpr double bits_to_megabits(double bits) { return bits / 1e6; }
+
+// --- energy --------------------------------------------------------------
+
+/// Converts joules to kilowatt-hours.
+constexpr double joules_to_kwh(double joules) { return joules / 3.6e6; }
+
+/// Converts watts sustained for a year to terawatt-hours.
+constexpr double watt_years_to_twh(double watts) {
+  return watts * kHoursPerYear / 1e12;  // W * h / (1e12 W per TW)
+}
+
+// --- signals -------------------------------------------------------------
+
+/// Converts a power ratio in dB to a linear ratio.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Converts a linear power ratio to dB.
+inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// Converts a PSD level in dBm/Hz to milliwatts per hertz.
+inline double dbm_per_hz_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+// --- distance ------------------------------------------------------------
+
+inline constexpr double kMetersPerMile = 1609.344;
+inline constexpr double kMetersPerFoot = 0.3048;
+
+/// ADSL2+ rule of thumb used in the paper's appendix: 1 dB of measured
+/// attenuation corresponds to roughly 70 m (230 ft) of loop.
+inline constexpr double kMetersPerDbAdsl2Plus = 70.0;
+
+}  // namespace insomnia::util

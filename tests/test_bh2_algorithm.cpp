@@ -1,0 +1,252 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "bh2/algorithm.h"
+
+namespace insomnia::bh2 {
+namespace {
+
+/// Scriptable observer for exercising each §3.1 branch.
+class FakeObserver : public GatewayObserver {
+ public:
+  double load(int gateway) const override {
+    const auto it = loads_.find(gateway);
+    return it == loads_.end() ? 0.0 : it->second;
+  }
+  bool is_awake(int gateway) const override {
+    const auto it = awake_.find(gateway);
+    return it == awake_.end() ? false : it->second;
+  }
+  void set(int gateway, bool awake, double load) {
+    awake_[gateway] = awake;
+    loads_[gateway] = load;
+  }
+
+ private:
+  std::map<int, double> loads_;
+  std::map<int, bool> awake_;
+};
+
+Bh2Config config_with_backup(int backup) {
+  Bh2Config config;
+  config.backup = backup;
+  return config;
+}
+
+TEST(Bh2ValidTarget, RequiresAwake) {
+  FakeObserver obs;
+  obs.set(1, false, 0.3);
+  EXPECT_FALSE(is_valid_target(1, obs, config_with_backup(1)));
+  obs.set(1, true, 0.3);
+  EXPECT_TRUE(is_valid_target(1, obs, config_with_backup(1)));
+}
+
+TEST(Bh2ValidTarget, RejectsHeavilyLoaded) {
+  FakeObserver obs;
+  obs.set(1, true, 0.55);  // above high threshold 0.5
+  EXPECT_FALSE(is_valid_target(1, obs, config_with_backup(1)));
+}
+
+TEST(Bh2ValidTarget, RejectsSleepCandidates) {
+  FakeObserver obs;
+  obs.set(1, true, 0.0);  // no traffic at all -> about to sleep
+  EXPECT_FALSE(is_valid_target(1, obs, config_with_backup(1)));
+  obs.set(1, true, 0.001);  // some traffic: valid even below low threshold
+  EXPECT_TRUE(is_valid_target(1, obs, config_with_backup(1)));
+}
+
+TEST(Bh2Decide, BusyHomeStays) {
+  FakeObserver obs;
+  obs.set(0, true, 0.2);  // home above low threshold
+  obs.set(1, true, 0.3);
+  sim::Random rng(1);
+  const Decision d = decide(0, {0, 1}, 0, obs, config_with_backup(0), rng);
+  EXPECT_EQ(d.action, Action::kStay);
+}
+
+TEST(Bh2Decide, IdleHomeMovesToLoadedNeighbour) {
+  FakeObserver obs;
+  obs.set(0, true, 0.01);  // home nearly idle
+  obs.set(1, true, 0.3);
+  obs.set(2, true, 0.2);
+  sim::Random rng(1);
+  const Decision d = decide(0, {0, 1, 2}, 0, obs, config_with_backup(1), rng);
+  EXPECT_EQ(d.action, Action::kMoveTo);
+  EXPECT_TRUE(d.target == 1 || d.target == 2);
+}
+
+TEST(Bh2Decide, OneBackupIsFreeBecauseHomeIsWakeable) {
+  FakeObserver obs;
+  obs.set(0, true, 0.01);
+  obs.set(1, true, 0.3);  // a single candidate
+  sim::Random rng(1);
+  // With backup=1 the home gateway itself is the standby (the terminal can
+  // always wake it via WoWLAN), so the move is allowed — the paper's
+  // "using a backup does not penalize performance".
+  const Decision d = decide(0, {0, 1}, 0, obs, config_with_backup(1), rng);
+  EXPECT_EQ(d.action, Action::kMoveTo);
+  EXPECT_EQ(d.target, 1);
+}
+
+TEST(Bh2Decide, SecondBackupNeedsAnotherAwakeGateway) {
+  FakeObserver obs;
+  obs.set(0, true, 0.01);
+  obs.set(1, true, 0.3);
+  sim::Random rng(1);
+  // backup=2: home (wakeable) is one standby; no second awake gateway
+  // exists beyond the primary, so the terminal must stay home.
+  const Decision d = decide(0, {0, 1}, 0, obs, config_with_backup(2), rng);
+  EXPECT_EQ(d.action, Action::kStay);
+  // An extra awake neighbour satisfies it, even if cold.
+  obs.set(2, true, 0.0);
+  const Decision d2 = decide(0, {0, 1, 2}, 0, obs, config_with_backup(2), rng);
+  EXPECT_EQ(d2.action, Action::kMoveTo);
+  EXPECT_EQ(d2.target, 1);  // gateway 2 is a standby, not a valid primary
+}
+
+TEST(Bh2Decide, NoCandidatesKeepsHomeAwake) {
+  FakeObserver obs;
+  obs.set(0, true, 0.01);
+  obs.set(1, true, 0.0);   // sleep candidate
+  obs.set(2, false, 0.0);  // asleep
+  obs.set(3, true, 0.9);   // overloaded
+  sim::Random rng(1);
+  const Decision d = decide(0, {0, 1, 2, 3}, 0, obs, config_with_backup(0), rng);
+  EXPECT_EQ(d.action, Action::kStay);
+}
+
+TEST(Bh2Decide, RemoteDiedReturnsHome) {
+  FakeObserver obs;
+  obs.set(0, true, 0.1);
+  obs.set(5, false, 0.0);  // current remote asleep
+  sim::Random rng(1);
+  const Decision d = decide(0, {0, 5}, 5, obs, config_with_backup(0), rng);
+  EXPECT_EQ(d.action, Action::kReturnHome);
+}
+
+TEST(Bh2Decide, OverloadedRemoteHandsOffToAnotherGateway) {
+  FakeObserver obs;
+  obs.set(0, false, 0.0);
+  obs.set(5, true, 0.6);  // above high
+  obs.set(6, true, 0.2);  // escape target with headroom
+  sim::Random rng(1);
+  const Decision d = decide(0, {0, 5, 6}, 5, obs, config_with_backup(0), rng);
+  EXPECT_EQ(d.action, Action::kMoveTo);
+  EXPECT_EQ(d.target, 6);
+}
+
+TEST(Bh2Decide, OverloadedRemoteWithNoEscapeReturnsHome) {
+  FakeObserver obs;
+  obs.set(0, false, 0.0);  // home asleep: not an escape
+  obs.set(5, true, 0.6);
+  obs.set(6, true, 0.6);  // also beyond the join ceiling
+  sim::Random rng(1);
+  const Decision d = decide(0, {0, 5, 6}, 5, obs, config_with_backup(0), rng);
+  EXPECT_EQ(d.action, Action::kReturnHome);
+}
+
+TEST(Bh2Decide, OwnTrafficDoesNotSelfEvict) {
+  FakeObserver obs;
+  obs.set(0, false, 0.0);
+  obs.set(5, true, 0.6);  // overloaded, but mostly by this terminal itself
+  obs.set(6, true, 0.1);
+  sim::Random rng(1);
+  const Decision d =
+      decide(0, {0, 5, 6}, 5, obs, config_with_backup(0), rng, /*own_share=*/0.3);
+  // 0.6 - 0.3 < high threshold: no eviction (and 0.3 is between the
+  // thresholds, so no re-selection either).
+  EXPECT_EQ(d.action, Action::kStay);
+}
+
+TEST(Bh2Decide, RemoteBelowLowReselectsAmongWarmPool) {
+  FakeObserver obs;
+  obs.set(0, true, 0.0);   // home idle (sleep candidate)
+  obs.set(5, true, 0.02);  // current remote, below low but warm
+  obs.set(6, true, 0.30);  // much more loaded neighbour (within join ceiling)
+  sim::Random rng(2);
+  // With proportional selection the heavy neighbour should win most draws.
+  int moved_to_6 = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Decision d = decide(0, {0, 5, 6}, 5, obs, config_with_backup(1), rng);
+    if (d.action == Action::kMoveTo) {
+      EXPECT_EQ(d.target, 6);
+      ++moved_to_6;
+    }
+  }
+  EXPECT_GT(moved_to_6, 100);
+}
+
+TEST(Bh2Decide, RemoteComfortableStays) {
+  FakeObserver obs;
+  obs.set(0, true, 0.1);
+  obs.set(5, true, 0.3);  // between low and high
+  obs.set(6, true, 0.3);
+  sim::Random rng(1);
+  const Decision d = decide(0, {0, 5, 6}, 5, obs, config_with_backup(1), rng);
+  EXPECT_EQ(d.action, Action::kStay);
+}
+
+TEST(Bh2Decide, BackupShortfallAtRemoteReturnsHome) {
+  FakeObserver obs;
+  obs.set(0, false, 0.0);
+  obs.set(5, true, 0.3);  // current remote fine; home is the only standby
+  sim::Random rng(1);
+  // backup=1 is satisfied by the wakeable home; backup=2 is not.
+  const Decision d1 = decide(0, {0, 5}, 5, obs, config_with_backup(1), rng);
+  EXPECT_EQ(d1.action, Action::kStay);
+  const Decision d2 = decide(0, {0, 5}, 5, obs, config_with_backup(2), rng);
+  EXPECT_EQ(d2.action, Action::kReturnHome);
+}
+
+TEST(Bh2Reroute, NoBackupMeansWakeHome) {
+  FakeObserver obs;
+  obs.set(1, true, 0.2);
+  sim::Random rng(1);
+  EXPECT_EQ(reroute_on_wake_needed(0, {0, 1}, 0, obs, config_with_backup(0), rng), -1);
+}
+
+TEST(Bh2Reroute, PicksWarmTargetWhenBackupsExist) {
+  FakeObserver obs;
+  obs.set(0, false, 0.0);
+  obs.set(1, true, 0.2);
+  sim::Random rng(1);
+  EXPECT_EQ(reroute_on_wake_needed(0, {0, 1}, 0, obs, config_with_backup(1), rng), 1);
+}
+
+TEST(Bh2Reroute, NoTargetsFallsBackToWake) {
+  FakeObserver obs;
+  obs.set(0, false, 0.0);
+  obs.set(1, true, 0.0);  // sleep candidate, not a target
+  sim::Random rng(1);
+  EXPECT_EQ(reroute_on_wake_needed(0, {0, 1}, 0, obs, config_with_backup(1), rng), -1);
+}
+
+TEST(Bh2Decide, ProportionalSelectionIsLoadWeighted) {
+  FakeObserver obs;
+  obs.set(0, true, 0.005);  // idle home
+  obs.set(1, true, 0.35);
+  obs.set(2, true, 0.10);
+  sim::Random rng(3);
+  int to_1 = 0;
+  int to_2 = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Decision d = decide(0, {0, 1, 2}, 0, obs, config_with_backup(1), rng);
+    ASSERT_EQ(d.action, Action::kMoveTo);
+    (d.target == 1 ? to_1 : to_2)++;
+  }
+  // Squared-load weights ~(0.351^2 : 0.101^2) -> ~92 % / 8 %.
+  EXPECT_NEAR(static_cast<double>(to_1) / 2000.0, 0.92, 0.04);
+}
+
+TEST(Bh2ValidTarget, JoinHeadroomBelowEvictionThreshold) {
+  FakeObserver obs;
+  Bh2Config config;  // high 0.5, headroom 0.8 -> join ceiling 0.4
+  obs.set(1, true, 0.39);
+  EXPECT_TRUE(is_valid_target(1, obs, config));
+  obs.set(1, true, 0.41);
+  EXPECT_FALSE(is_valid_target(1, obs, config));
+}
+
+}  // namespace
+}  // namespace insomnia::bh2

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "bh2/sn_load_estimator.h"
+#include "bh2/tdma.h"
+#include "util/error.h"
+
+namespace insomnia::bh2 {
+namespace {
+
+TEST(SequenceDelta, PlainDifference) {
+  EXPECT_EQ(sequence_delta(10, 15), 5);
+  EXPECT_EQ(sequence_delta(10, 10), 0);
+}
+
+TEST(SequenceDelta, WrapsAround) {
+  EXPECT_EQ(sequence_delta(4090, 5), 11);
+  EXPECT_EQ(sequence_delta(4095, 0), 1);
+}
+
+TEST(SequenceDelta, Validation) {
+  EXPECT_THROW(sequence_delta(-1, 0), util::InvalidArgument);
+  EXPECT_THROW(sequence_delta(0, 4096), util::InvalidArgument);
+}
+
+TEST(SnEstimator, NoSamplesMeansZero) {
+  SnLoadEstimator est(60.0, 1000.0);
+  EXPECT_DOUBLE_EQ(est.rate_bps(), 0.0);
+  est.observe(0.0, 100);
+  EXPECT_DOUBLE_EQ(est.rate_bps(), 0.0);  // single sample: no interval yet
+}
+
+TEST(SnEstimator, ExactRateFromFrameCount) {
+  SnLoadEstimator est(60.0, 1000.0);  // 1000 B frames
+  est.observe(0.0, 0);
+  est.observe(10.0, 100);  // 100 frames in 10 s = 10 frames/s = 80 kbit/s
+  EXPECT_NEAR(est.rate_bps(), 80000.0, 1e-9);
+  EXPECT_EQ(est.frames_in_window(), 100);
+}
+
+TEST(SnEstimator, UtilizationAgainstBackhaul) {
+  SnLoadEstimator est(60.0, 1500.0);
+  est.observe(0.0, 0);
+  est.observe(1.0, 500);  // 500 * 1500 * 8 = 6 Mbit in 1 s
+  EXPECT_NEAR(est.utilization(6e6), 1.0, 1e-9);
+  EXPECT_THROW(est.utilization(0.0), util::InvalidArgument);
+}
+
+TEST(SnEstimator, HandlesWraparound) {
+  SnLoadEstimator est(60.0, 1000.0);
+  est.observe(0.0, 4000);
+  est.observe(5.0, 96);  // 192 frames through the wrap
+  EXPECT_EQ(est.frames_in_window(), 192);
+}
+
+TEST(SnEstimator, OldSamplesExpire) {
+  SnLoadEstimator est(10.0, 1000.0);
+  est.observe(0.0, 0);
+  est.observe(1.0, 1000);  // burst
+  est.observe(50.0, 1100);  // much later: the burst must have aged out
+  // Only the 1.0 -> 50.0 interval remains... and then 1.0 is expired too,
+  // leaving the trailing samples.
+  EXPECT_LE(est.frames_in_window(), 100);
+}
+
+TEST(SnEstimator, RejectsTimeTravel) {
+  SnLoadEstimator est(10.0, 1000.0);
+  est.observe(5.0, 0);
+  EXPECT_THROW(est.observe(4.0, 1), util::InvalidArgument);
+}
+
+TEST(SnEstimator, ZeroTrafficMeansZeroRate) {
+  SnLoadEstimator est(30.0, 1500.0);
+  est.observe(0.0, 42);
+  est.observe(10.0, 42);
+  EXPECT_DOUBLE_EQ(est.rate_bps(), 0.0);
+}
+
+TEST(Tdma, SingleGatewayGetsAllAirtime) {
+  TdmaSchedule schedule(TdmaConfig{}, 1);
+  EXPECT_DOUBLE_EQ(schedule.primary_share(), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.monitor_share(), 0.0);
+}
+
+TEST(Tdma, PaperDeploymentSplit) {
+  // §5.3: 100 ms period, 60 % to the selected gateway, rest split evenly
+  // across the others (5.5 in range on average -> use 6 total).
+  TdmaSchedule schedule(TdmaConfig{}, 6);
+  EXPECT_DOUBLE_EQ(schedule.primary_share(), 0.60);
+  EXPECT_NEAR(schedule.monitor_share(), 0.40 / 5.0, 1e-12);
+  EXPECT_NEAR(schedule.monitor_time_per_cycle(), 0.008, 1e-12);
+}
+
+TEST(Tdma, SixtyPercentDrainsAdslBackhaul) {
+  // The paper verified 60 % of a 12 Mbps wireless link covers a 6 Mbps
+  // ADSL backhaul.
+  TdmaSchedule schedule(TdmaConfig{}, 6);
+  EXPECT_TRUE(schedule.can_drain_backhaul(12e6, 6e6));
+  EXPECT_DOUBLE_EQ(schedule.effective_rate(12e6), 7.2e6);
+  EXPECT_FALSE(schedule.can_drain_backhaul(8e6, 6e6));
+}
+
+TEST(Tdma, Validation) {
+  EXPECT_THROW(TdmaSchedule(TdmaConfig{.period = 0.0}, 2), util::InvalidArgument);
+  EXPECT_THROW(TdmaSchedule(TdmaConfig{.period = 0.1, .primary_share = 1.5}, 2),
+               util::InvalidArgument);
+  EXPECT_THROW(TdmaSchedule(TdmaConfig{}, 0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::bh2

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "core/extrapolation.h"
+#include "util/error.h"
+
+namespace insomnia::core {
+namespace {
+
+TEST(Extrapolation, DefaultsReproduceThePapersNumber) {
+  // §5.4: "the savings collectively amount to about 33 TWh per year".
+  const WorldExtrapolationConfig config;
+  EXPECT_NEAR(annual_savings_twh(config), 33.0, 4.0);
+}
+
+TEST(Extrapolation, ThreeNuclearPlants) {
+  const WorldExtrapolationConfig config;
+  EXPECT_NEAR(equivalent_nuclear_plants(config), 3.0, 0.6);
+}
+
+TEST(Extrapolation, WorldAccessWatts) {
+  WorldExtrapolationConfig config;
+  config.dsl_subscribers = 1.0;
+  config.household_watts = 9.0;
+  config.isp_watts_per_subscriber = 9.6;
+  EXPECT_NEAR(world_access_watts(config), 18.6, 1e-9);
+}
+
+TEST(Extrapolation, ScalesLinearlyInSubscribers) {
+  WorldExtrapolationConfig config;
+  const double base = annual_savings_twh(config);
+  config.dsl_subscribers *= 2.0;
+  EXPECT_NEAR(annual_savings_twh(config), 2.0 * base, 1e-9);
+}
+
+TEST(Extrapolation, ZeroSavingsZeroTwh) {
+  WorldExtrapolationConfig config;
+  config.savings_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(annual_savings_twh(config), 0.0);
+}
+
+TEST(Extrapolation, Validation) {
+  WorldExtrapolationConfig config;
+  config.savings_fraction = 1.5;
+  EXPECT_THROW(annual_savings_twh(config), util::InvalidArgument);
+  config = {};
+  config.dsl_subscribers = -1.0;
+  EXPECT_THROW(world_access_watts(config), util::InvalidArgument);
+  config = {};
+  EXPECT_THROW(equivalent_nuclear_plants(config, 0.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::core

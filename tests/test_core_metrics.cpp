@@ -1,0 +1,95 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "util/error.h"
+
+namespace insomnia::core {
+namespace {
+
+RunMetrics constant_run(double user_watts, double isp_watts, double duration = 100.0) {
+  RunMetrics m;
+  m.duration = duration;
+  m.user_power = stats::StepSeries(0.0, user_watts);
+  m.isp_power = stats::StepSeries(0.0, isp_watts);
+  return m;
+}
+
+TEST(Metrics, EnergyIntegrals) {
+  const RunMetrics m = constant_run(10.0, 30.0);
+  EXPECT_DOUBLE_EQ(m.user_energy(), 1000.0);
+  EXPECT_DOUBLE_EQ(m.isp_energy(), 3000.0);
+  EXPECT_DOUBLE_EQ(m.total_energy(), 4000.0);
+}
+
+TEST(Metrics, SavingsFraction) {
+  const RunMetrics baseline = constant_run(50.0, 50.0);
+  const RunMetrics half = constant_run(25.0, 25.0);
+  EXPECT_DOUBLE_EQ(savings_fraction(half, baseline, 0.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(savings_fraction(baseline, baseline, 0.0, 100.0), 0.0);
+}
+
+TEST(Metrics, BinnedSavingsTracksStepChange) {
+  const RunMetrics baseline = constant_run(100.0, 0.0);
+  RunMetrics run = constant_run(100.0, 0.0);
+  run.user_power.set(50.0, 20.0);  // saves 80 % in the second half
+  const auto bins = binned_savings(run, baseline, 2);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_NEAR(bins[0], 0.0, 1e-12);
+  EXPECT_NEAR(bins[1], 0.8, 1e-12);
+}
+
+TEST(Metrics, IspShareOfSavings) {
+  const RunMetrics baseline = constant_run(60.0, 40.0);
+  const RunMetrics run = constant_run(30.0, 20.0);  // saves 30 user, 20 isp
+  const auto share = isp_share_of_savings(run, baseline, 0.0, 100.0);
+  ASSERT_TRUE(share.has_value());
+  EXPECT_NEAR(*share, 0.4, 1e-12);
+}
+
+TEST(Metrics, IspShareUndefinedWithoutSavings) {
+  const RunMetrics baseline = constant_run(60.0, 40.0);
+  EXPECT_FALSE(isp_share_of_savings(baseline, baseline, 0.0, 100.0).has_value());
+}
+
+TEST(Metrics, CompletionTimeIncrease) {
+  RunMetrics baseline = constant_run(1.0, 1.0);
+  RunMetrics run = constant_run(1.0, 1.0);
+  baseline.completion_time = {1.0, 2.0, std::nan(""), 4.0};
+  run.completion_time = {1.0, 3.0, 5.0, std::nan("")};
+  const auto increase = completion_time_increase(run, baseline);
+  // NaN rows (either side) are skipped.
+  ASSERT_EQ(increase.size(), 2u);
+  EXPECT_DOUBLE_EQ(increase[0], 0.0);
+  EXPECT_DOUBLE_EQ(increase[1], 0.5);
+}
+
+TEST(Metrics, CompletionTimeSizeMismatchRejected) {
+  RunMetrics a = constant_run(1.0, 1.0);
+  RunMetrics b = constant_run(1.0, 1.0);
+  a.completion_time = {1.0};
+  b.completion_time = {1.0, 2.0};
+  EXPECT_THROW(completion_time_increase(a, b), util::InvalidArgument);
+}
+
+TEST(Metrics, OnlineTimeVariation) {
+  RunMetrics soi = constant_run(1.0, 1.0);
+  RunMetrics bh2 = constant_run(1.0, 1.0);
+  soi.gateway_online_time = {100.0, 200.0, 0.0, 50.0};
+  bh2.gateway_online_time = {0.0, 250.0, 0.0, 50.0};
+  const auto variation = online_time_variation(bh2, soi);
+  ASSERT_EQ(variation.size(), 4u);
+  EXPECT_DOUBLE_EQ(variation[0], -1.0);   // fully asleep under BH2
+  EXPECT_DOUBLE_EQ(variation[1], 0.25);   // +25 %
+  EXPECT_DOUBLE_EQ(variation[2], 0.0);    // idle in both
+  EXPECT_DOUBLE_EQ(variation[3], 0.0);    // unchanged
+}
+
+TEST(Metrics, SavingsRequirePositiveBaseline) {
+  const RunMetrics zero = constant_run(0.0, 0.0);
+  EXPECT_THROW(savings_fraction(zero, zero, 0.0, 100.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::core

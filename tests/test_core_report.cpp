@@ -1,0 +1,62 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace insomnia::core {
+namespace {
+
+RunMetrics synthetic_metrics() {
+  RunMetrics m;
+  m.duration = 7200.0;
+  m.user_power = stats::StepSeries(0.0, 100.0);
+  m.user_power.set(3600.0, 50.0);
+  m.isp_power = stats::StepSeries(0.0, 200.0);
+  m.online_gateways = stats::StepSeries(0.0, 10.0);
+  m.online_cards = stats::StepSeries(0.0, 4.0);
+  return m;
+}
+
+TEST(Report, RunCsvShape) {
+  const RunMetrics m = synthetic_metrics();
+  std::stringstream out;
+  write_run_csv(out, m, 4, "test run");
+  const util::CsvDocument doc = util::parse_csv(out, /*has_header=*/true);
+  ASSERT_EQ(doc.header.size(), 5u);
+  EXPECT_EQ(doc.header[0], "hour");
+  ASSERT_EQ(doc.rows.size(), 4u);
+  // First bin fully at 100 W user power; third bin at 50 W.
+  EXPECT_NEAR(std::stod(doc.rows[0][1]), 100.0, 1e-6);
+  EXPECT_NEAR(std::stod(doc.rows[2][1]), 50.0, 1e-6);
+  EXPECT_NEAR(std::stod(doc.rows[0][2]), 200.0, 1e-6);
+}
+
+TEST(Report, SavingsCsvValues) {
+  const RunMetrics baseline = synthetic_metrics();
+  RunMetrics run = synthetic_metrics();
+  run.user_power = stats::StepSeries(0.0, 40.0);  // 300 W baseline -> 240 W
+  run.isp_power = stats::StepSeries(0.0, 200.0);
+  std::stringstream out;
+  write_savings_csv(out, run, baseline, 2);
+  const util::CsvDocument doc = util::parse_csv(out, /*has_header=*/true);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  // First half: baseline 300 W, run 240 W -> 20 % savings.
+  EXPECT_NEAR(std::stod(doc.rows[0][1]), 0.2, 1e-6);
+  // Second half: baseline 250 W, run 240 W -> 4 % savings.
+  EXPECT_NEAR(std::stod(doc.rows[1][1]), 0.04, 1e-6);
+}
+
+TEST(Report, Validation) {
+  const RunMetrics m = synthetic_metrics();
+  std::stringstream out;
+  EXPECT_THROW(write_run_csv(out, m, 0), util::InvalidArgument);
+  RunMetrics other = synthetic_metrics();
+  other.duration = 100.0;
+  EXPECT_THROW(write_savings_csv(out, other, m, 4), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::core

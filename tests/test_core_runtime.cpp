@@ -1,0 +1,162 @@
+// Integration tests of the runtime's gateway state machine, energy
+// accounting and wake-up penalty on small hand-built scenarios where every
+// number can be computed by hand.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/home_policy.h"
+#include "util/error.h"
+#include "core/runtime.h"
+#include "core/schemes.h"
+#include "topology/access_topology.h"
+
+namespace insomnia::core {
+namespace {
+
+/// A 2-gateway, 2-client scenario with fast wake for exact arithmetic.
+ScenarioConfig tiny_scenario() {
+  ScenarioConfig scenario;
+  scenario.client_count = 2;
+  scenario.gateway_count = 2;
+  scenario.duration = 2000.0;
+  scenario.drain_time = 500.0;
+  scenario.wake_time = 60.0;
+  scenario.idle_timeout = 60.0;
+  scenario.dslam.line_cards = 2;
+  scenario.dslam.ports_per_card = 1;
+  scenario.dslam.switch_size = 2;
+  scenario.degrees.node_count = 2;
+  scenario.traffic.client_count = 2;
+  return scenario;
+}
+
+topo::AccessTopology tiny_topology() {
+  topo::AccessTopology topology;
+  topology.gateway_count = 2;
+  topology.home_gateway = {0, 1};
+  topology.client_gateways = {{0, 1}, {1, 0}};
+  return topology;
+}
+
+TEST(Runtime, NoSleepBaselinePowerIsConstant) {
+  const ScenarioConfig scenario = tiny_scenario();
+  const trace::FlowTrace flows{};
+  const RunMetrics m =
+      run_scheme(scenario, tiny_topology(), flows, SchemeKind::kNoSleep, 1);
+  // 2 households at 14 W each + shelf 21 + 2 cards * 98 + 2 modems * 1.
+  const double watts = 2 * 14.0 + 21.0 + 2 * 98.0 + 2 * 1.0;
+  EXPECT_NEAR(m.total_energy(), watts * scenario.duration, 1e-6);
+  EXPECT_DOUBLE_EQ(m.online_gateways.value_at(1000.0), 2.0);
+}
+
+TEST(Runtime, SoiWithNoTrafficSleepsEverything) {
+  const ScenarioConfig scenario = tiny_scenario();
+  const trace::FlowTrace flows{};
+  const RunMetrics m = run_scheme(scenario, tiny_topology(), flows, SchemeKind::kSoi, 1);
+  // Gateways start asleep and never wake: only the shelf burns energy.
+  EXPECT_NEAR(m.total_energy(), 21.0 * scenario.duration, 1e-6);
+  EXPECT_EQ(m.gateway_wake_events, 0);
+}
+
+TEST(Runtime, SoiWakePenaltyStallsTheFirstFlow) {
+  const ScenarioConfig scenario = tiny_scenario();
+  // 750 kB at 6 Mbps = 1 s of service, arriving at t=100 on a sleeping
+  // gateway: FCT = 60 s wake + 1 s service.
+  const trace::FlowTrace flows{{100.0, 0, 750000.0}};
+  const RunMetrics m = run_scheme(scenario, tiny_topology(), flows, SchemeKind::kSoi, 1);
+  ASSERT_EQ(m.completion_time.size(), 1u);
+  EXPECT_NEAR(m.completion_time[0], 61.0, 1e-6);
+  EXPECT_EQ(m.gateway_wake_events, 1);
+}
+
+TEST(Runtime, SoiGatewaySleepsAfterIdleTimeout) {
+  const ScenarioConfig scenario = tiny_scenario();
+  const trace::FlowTrace flows{{100.0, 0, 750000.0}};
+  const RunMetrics m = run_scheme(scenario, tiny_topology(), flows, SchemeKind::kSoi, 1);
+  // Wake at 100, active at 160, flow done at 161, idle timeout at ~221.
+  EXPECT_DOUBLE_EQ(m.online_gateways.value_at(200.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.online_gateways.value_at(222.0), 0.0);
+  // Online time: from wake (100) to sleep (~221) once, gateway 0 only.
+  EXPECT_NEAR(m.gateway_online_time[0], 121.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.gateway_online_time[1], 0.0);
+}
+
+TEST(Runtime, BackToBackFlowsKeepGatewayUp) {
+  const ScenarioConfig scenario = tiny_scenario();
+  // Keep-alives every 30 s < 60 s timeout: the gateway must stay up from
+  // first wake to the last flow + timeout.
+  trace::FlowTrace flows;
+  for (int i = 0; i < 20; ++i) flows.push_back({100.0 + 30.0 * i, 0, 300.0});
+  const RunMetrics m = run_scheme(scenario, tiny_topology(), flows, SchemeKind::kSoi, 1);
+  EXPECT_EQ(m.gateway_wake_events, 1);  // exactly one wake despite 20 flows
+  for (const double fct : m.completion_time) EXPECT_FALSE(std::isnan(fct));
+}
+
+TEST(Runtime, NoSleepFlowUnaffected) {
+  const ScenarioConfig scenario = tiny_scenario();
+  const trace::FlowTrace flows{{100.0, 0, 750000.0}};
+  const RunMetrics m =
+      run_scheme(scenario, tiny_topology(), flows, SchemeKind::kNoSleep, 1);
+  EXPECT_NEAR(m.completion_time[0], 1.0, 1e-6);
+}
+
+TEST(Runtime, WakingGatewayDrawsPower) {
+  const ScenarioConfig scenario = tiny_scenario();
+  const trace::FlowTrace flows{{100.0, 0, 750000.0}};
+  const RunMetrics m = run_scheme(scenario, tiny_topology(), flows, SchemeKind::kSoi, 1);
+  // During [100, 160) the household draws full power while serving nothing.
+  EXPECT_NEAR(m.user_power.value_at(130.0), 14.0, 1e-9);
+  // Its DSLAM modem and card wake with it.
+  EXPECT_GT(m.isp_power.value_at(130.0), 21.0 + 98.0 - 1e-9);
+}
+
+TEST(Runtime, OptimalServesWithInstantTransitions) {
+  const ScenarioConfig scenario = tiny_scenario();
+  const trace::FlowTrace flows{{100.0, 0, 750000.0}, {500.0, 1, 750000.0}};
+  const RunMetrics m =
+      run_scheme(scenario, tiny_topology(), flows, SchemeKind::kOptimal, 1);
+  // No wake penalty: the fallback powers a gateway instantly.
+  EXPECT_NEAR(m.completion_time[0], 1.0, 1e-6);
+  EXPECT_NEAR(m.completion_time[1], 1.0, 1e-6);
+  EXPECT_EQ(m.gateway_wake_events, 0);
+  // Optimal must save energy vs no-sleep here (long idle day).
+  const RunMetrics baseline =
+      run_scheme(scenario, tiny_topology(), flows, SchemeKind::kNoSleep, 1);
+  EXPECT_GT(savings_fraction(m, baseline, 0.0, scenario.duration), 0.5);
+}
+
+TEST(Runtime, FlowArrivingDuringWakeWaitsOnlyTheRemainder) {
+  const ScenarioConfig scenario = tiny_scenario();
+  // First flow wakes the gateway at t=100 (active at 160); second arrives
+  // at t=130 and waits 30 s, then both are served at 3 Mbps each.
+  const trace::FlowTrace flows{{100.0, 0, 750000.0}, {130.0, 0, 750000.0}};
+  const RunMetrics m = run_scheme(scenario, tiny_topology(), flows, SchemeKind::kSoi, 1);
+  EXPECT_EQ(m.gateway_wake_events, 1);
+  // Both share 6 Mbps from 160: each needs 2 s at half rate.
+  EXPECT_NEAR(m.completion_time[0], 62.0, 1e-6);
+  EXPECT_NEAR(m.completion_time[1], 32.0, 1e-6);
+}
+
+TEST(Runtime, RejectsMismatchedTopology) {
+  const ScenarioConfig scenario = tiny_scenario();
+  topo::AccessTopology wrong = tiny_topology();
+  wrong.gateway_count = 3;
+  NoSleepPolicy policy;
+  sim::Random rng(1);
+  EXPECT_THROW(AccessRuntime(scenario, wrong, {}, policy, rng), util::InvalidArgument);
+}
+
+TEST(Runtime, RunIsSingleShot) {
+  const ScenarioConfig scenario = tiny_scenario();
+  const topo::AccessTopology topology = tiny_topology();
+  NoSleepPolicy policy;
+  sim::Random rng(1);
+  trace::FlowTrace flows;
+  AccessRuntime runtime(scenario, topology, flows, policy, rng);
+  runtime.run();
+  EXPECT_THROW(runtime.run(), util::InvalidState);
+}
+
+}  // namespace
+}  // namespace insomnia::core

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "dsl/bitloading.h"
+#include "dsl/crosstalk.h"
+#include "dsl/crosstalk_experiment.h"
+#include "util/error.h"
+
+namespace insomnia::dsl {
+namespace {
+
+std::vector<LineConfig> equal_lines(int count, double length) {
+  std::vector<LineConfig> lines(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    lines[static_cast<std::size_t>(i)] = {length, i + 1};
+  }
+  return lines;
+}
+
+TEST(Crosstalk, SignalFallsWithLength) {
+  const CrosstalkModel model({{200.0, 1}, {600.0, 2}}, Vdsl2Parameters::profile_17a());
+  for (std::size_t t = 0; t < model.tones().size(); t += 100) {
+    EXPECT_GT(model.signal_psd(0, t), model.signal_psd(1, t));
+  }
+}
+
+TEST(Crosstalk, FextGrowsWithFrequency) {
+  const CrosstalkModel model(equal_lines(2, 400.0), Vdsl2Parameters::profile_17a());
+  // Within DS1 (monotone attenuation regime) FEXT rises ~f^2 faster than
+  // the channel decays at short loops.
+  const auto& tones = model.tones();
+  std::size_t low = 0;
+  std::size_t mid = 200;
+  ASSERT_LT(tones[low], tones[mid]);
+  EXPECT_LT(model.fext_psd(0, 1, low) / model.signal_psd(0, low),
+            model.fext_psd(0, 1, mid) / model.signal_psd(0, mid));
+}
+
+TEST(Crosstalk, GeometryMattersAdjacentWorst) {
+  // Victim on pair 9; disturbers adjacent (10) vs across the binder (17).
+  const CrosstalkModel model({{400.0, 9}, {400.0, 10}, {400.0, 17}},
+                             Vdsl2Parameters::profile_17a());
+  EXPECT_GT(model.fext_psd(0, 1, 100), model.fext_psd(0, 2, 100));
+}
+
+TEST(Crosstalk, NoisePsdSumsActiveDisturbers) {
+  const CrosstalkModel model(equal_lines(3, 400.0), Vdsl2Parameters::profile_17a());
+  const std::vector<bool> none{true, false, false};
+  const std::vector<bool> one{true, true, false};
+  const std::vector<bool> both{true, true, true};
+  const std::size_t t = 150;
+  const double floor_only = model.noise_psd(0, none, t);
+  EXPECT_NEAR(model.noise_psd(0, one, t), floor_only + model.fext_psd(0, 1, t), 1e-18);
+  EXPECT_NEAR(model.noise_psd(0, both, t),
+              floor_only + model.fext_psd(0, 1, t) + model.fext_psd(0, 2, t), 1e-18);
+}
+
+TEST(Crosstalk, ShortDisturberHitsHarderThanLongOne) {
+  // The unequal-level model: a 100 m disturber injects more noise into a
+  // 600 m victim than a 600 m disturber does.
+  const CrosstalkModel model({{600.0, 1}, {100.0, 2}, {600.0, 9}},
+                             Vdsl2Parameters::profile_17a());
+  // Compare like-for-like geometry by symmetric positions: use tone ratio.
+  const double from_short = model.fext_psd(0, 1, 100) /
+                            Binder25().coupling_factor(1, 2);
+  const double from_long = model.fext_psd(0, 2, 100) /
+                           Binder25().coupling_factor(1, 9);
+  EXPECT_GT(from_short, from_long);
+}
+
+TEST(Crosstalk, Validation) {
+  EXPECT_THROW(CrosstalkModel({}, Vdsl2Parameters::profile_17a()), util::InvalidArgument);
+  EXPECT_THROW(CrosstalkModel({{0.0, 1}}, Vdsl2Parameters::profile_17a()),
+               util::InvalidArgument);
+  EXPECT_THROW(CrosstalkModel({{100.0, 30}}, Vdsl2Parameters::profile_17a()),
+               util::InvalidArgument);
+}
+
+TEST(BitLoading, ShannonGapBehaviour) {
+  // SNR of 2^b - 1 at zero gap yields exactly b bits.
+  EXPECT_NEAR(bits_per_tone(7.0, 1.0, 0.0, 15.0), 3.0, 1e-12);
+  // Gap reduces bits; cap at max_bits; zero signal -> zero bits.
+  EXPECT_LT(bits_per_tone(7.0, 1.0, 6.0, 15.0), 3.0);
+  EXPECT_DOUBLE_EQ(bits_per_tone(1e9, 1.0, 0.0, 15.0), 15.0);
+  EXPECT_DOUBLE_EQ(bits_per_tone(0.0, 1.0, 0.0, 15.0), 0.0);
+  EXPECT_THROW(bits_per_tone(1.0, 0.0, 0.0, 15.0), util::InvalidArgument);
+}
+
+TEST(BitLoading, FewerDisturbersNeverHurt) {
+  const CrosstalkModel model(equal_lines(8, 500.0), Vdsl2Parameters::profile_17a());
+  std::vector<bool> all(8, true);
+  std::vector<bool> half{true, true, true, true, false, false, false, false};
+  EXPECT_GT(attainable_rate_bps(model, 0, half), attainable_rate_bps(model, 0, all));
+}
+
+TEST(BitLoading, RateFallsWithLoopLength) {
+  for (double length : {200.0, 400.0}) {
+    const CrosstalkModel near(equal_lines(4, length), Vdsl2Parameters::profile_17a());
+    const CrosstalkModel far(equal_lines(4, length + 200.0),
+                             Vdsl2Parameters::profile_17a());
+    std::vector<bool> all(4, true);
+    EXPECT_GT(attainable_rate_bps(near, 0, all), attainable_rate_bps(far, 0, all));
+  }
+}
+
+TEST(BitLoading, SyncCapsAtThePlanRate) {
+  const CrosstalkModel model(equal_lines(4, 100.0), Vdsl2Parameters::profile_17a());
+  std::vector<bool> all(4, true);
+  const SyncResult sync = sync_line(model, 0, all, ServiceProfile::mbps62());
+  EXPECT_TRUE(sync.capped);  // 100 m loops attain far more than 62 Mbps
+  EXPECT_DOUBLE_EQ(sync.sync_rate_bps, 62e6);
+  EXPECT_GT(sync.attainable_rate_bps, 62e6);
+}
+
+TEST(BitLoading, MarginNoiseShiftsRate) {
+  const CrosstalkModel model(equal_lines(4, 600.0), Vdsl2Parameters::profile_17a());
+  std::vector<bool> all(4, true);
+  const double base = attainable_rate_bps(model, 0, all, 0.0);
+  EXPECT_LT(attainable_rate_bps(model, 0, all, 1.0), base);   // worse margin
+  EXPECT_GT(attainable_rate_bps(model, 0, all, -1.0), base);  // better margin
+}
+
+TEST(MarginAtRate, SignMatchesAttainability) {
+  // DS1-only lines at 600 m attain < 30 Mbps with a full binder: holding
+  // the 30 Mbps plan rate requires digging into the guard band (negative),
+  // while a modest 15 Mbps target leaves spare margin (positive).
+  const CrosstalkModel model(equal_lines(24, 600.0), Vdsl2Parameters::profile_ds1_only());
+  std::vector<bool> all(24, true);
+  EXPECT_LT(margin_at_rate(model, 0, all, 30e6), 0.0);
+  EXPECT_GT(margin_at_rate(model, 0, all, 15e6), 0.0);
+}
+
+TEST(MarginAtRate, GrowsAsDisturbersPowerOff) {
+  // §6.1 option (ii): at a fixed bit rate, powering neighbours off converts
+  // the crosstalk bonus into noise margin instead of rate.
+  const CrosstalkModel model(equal_lines(24, 600.0), Vdsl2Parameters::profile_ds1_only());
+  std::vector<bool> all(24, true);
+  std::vector<bool> half(24, true);
+  for (int i = 12; i < 24; ++i) half[static_cast<std::size_t>(i)] = false;
+  EXPECT_GT(margin_at_rate(model, 0, half, 20e6), margin_at_rate(model, 0, all, 20e6));
+}
+
+TEST(MarginAtRate, MonotoneInTargetRate) {
+  const CrosstalkModel model(equal_lines(8, 500.0), Vdsl2Parameters::profile_17a());
+  std::vector<bool> all(8, true);
+  double previous = 1e9;
+  for (double rate : {10e6, 20e6, 40e6, 60e6}) {
+    const double margin = margin_at_rate(model, 0, all, rate);
+    EXPECT_LT(margin, previous);
+    previous = margin;
+  }
+}
+
+TEST(MarginAtRate, RoundTripsThroughAttainableRate) {
+  const CrosstalkModel model(equal_lines(8, 450.0), Vdsl2Parameters::profile_17a());
+  std::vector<bool> all(8, true);
+  const double target = 25e6;
+  const double margin = margin_at_rate(model, 0, all, target, 1e-4);
+  EXPECT_NEAR(attainable_rate_bps(model, 0, all, margin), target, target * 1e-3);
+}
+
+TEST(MarginAtRate, Validation) {
+  const CrosstalkModel model(equal_lines(4, 400.0), Vdsl2Parameters::profile_17a());
+  std::vector<bool> all(4, true);
+  EXPECT_THROW(margin_at_rate(model, 0, all, 0.0), util::InvalidArgument);
+  EXPECT_THROW(margin_at_rate(model, 0, all, 1e6, 0.0), util::InvalidArgument);
+}
+
+TEST(Fig14Experiment, BaselinesNearThePaper) {
+  // Shape targets from Fig. 14's caption (generous tolerances; our binder
+  // is a model, not the authors' cable): 41.3 / 43.7 / 27.8 / 29.7 Mbps.
+  const std::vector<double> paper{41.3e6, 43.7e6, 27.8e6, 29.7e6};
+  const auto configs = fig14_configurations();
+  ASSERT_EQ(configs.size(), 4u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    sim::Random rng(100 + i);
+    auto quick = configs[i];
+    quick.sequences = 2;
+    quick.repetitions = 1;
+    const auto result = run_crosstalk_experiment(quick, rng);
+    EXPECT_NEAR(result.baseline_mean_bps, paper[i], paper[i] * 0.15) << i;
+  }
+}
+
+TEST(Fig14Experiment, SpeedupShapeFor62MbpsFixedLength) {
+  auto config = fig14_configurations()[1];  // 62 Mbps, fixed 600 m
+  config.sequences = 3;
+  config.repetitions = 1;
+  sim::Random rng(7);
+  const auto result = run_crosstalk_experiment(config, rng);
+  ASSERT_EQ(result.points.size(), config.inactive_steps.size());
+  // Monotone increase with the number of inactive lines.
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_GE(result.points[i].mean_speedup, result.points[i - 1].mean_speedup - 0.01);
+  }
+  // Half the lines off -> low-teens percent; 20 off -> 25-40 %.
+  const auto& half = result.points[6];  // 12 inactive
+  ASSERT_EQ(half.inactive_lines, 12);
+  EXPECT_GT(half.mean_speedup, 0.08);
+  EXPECT_LT(half.mean_speedup, 0.20);
+  const auto& deep = result.points[8];  // 20 inactive
+  EXPECT_GT(deep.mean_speedup, 0.18);
+  EXPECT_LT(deep.mean_speedup, 0.45);
+  // Early slope ~1 %/line (paper: 1.1-1.2 %).
+  const auto& early = result.points[2];  // 4 inactive
+  EXPECT_NEAR(early.mean_speedup / 4.0, 0.01, 0.006);
+}
+
+TEST(Fig14Experiment, ThirtyMbpsProfileGainsLess) {
+  sim::Random rng62(3);
+  sim::Random rng30(3);
+  auto c62 = fig14_configurations()[1];
+  auto c30 = fig14_configurations()[3];
+  c62.sequences = c30.sequences = 2;
+  c62.repetitions = c30.repetitions = 1;
+  const auto r62 = run_crosstalk_experiment(c62, rng62);
+  const auto r30 = run_crosstalk_experiment(c30, rng30);
+  // The plan cap flattens the 30 Mbps curves below the 62 Mbps ones.
+  EXPECT_LT(r30.points.back().mean_speedup, r62.points.back().mean_speedup);
+}
+
+TEST(Fig14Experiment, ZeroInactiveHasZeroMeanSpeedup) {
+  auto config = fig14_configurations()[0];
+  config.sequences = 2;
+  config.repetitions = 2;
+  config.margin_noise_sigma_db = 0.0;  // noise-free: exactly the baseline
+  sim::Random rng(5);
+  const auto result = run_crosstalk_experiment(config, rng);
+  EXPECT_NEAR(result.points.front().mean_speedup, 0.0, 1e-9);
+  EXPECT_NEAR(result.points.front().stddev_speedup, 0.0, 1e-9);
+}
+
+TEST(Fig14Experiment, ErrorBarsComeFromMarginNoise) {
+  auto config = fig14_configurations()[1];
+  config.sequences = 3;
+  config.repetitions = 2;
+  sim::Random rng(9);
+  const auto result = run_crosstalk_experiment(config, rng);
+  // Some step must show nonzero spread across sequences/repetitions.
+  bool any_spread = false;
+  for (const auto& p : result.points) {
+    if (p.stddev_speedup > 0.0) any_spread = true;
+  }
+  EXPECT_TRUE(any_spread);
+}
+
+TEST(Fig14Experiment, Validation) {
+  CrosstalkExperimentConfig config;
+  config.inactive_steps = {24};
+  sim::Random rng(1);
+  EXPECT_THROW(run_crosstalk_experiment(config, rng), util::InvalidArgument);
+  config = {};
+  config.line_count = 30;
+  EXPECT_THROW(run_crosstalk_experiment(config, rng), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::dsl

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "dsl/attenuation_survey.h"
+#include "dsl/binder.h"
+#include "dsl/cable.h"
+#include "dsl/vdsl2.h"
+#include "util/error.h"
+
+namespace insomnia::dsl {
+namespace {
+
+TEST(Cable, AttenuationGrowsWithLengthAndFrequency) {
+  const CableModel cable = CableModel::pe04();
+  EXPECT_LT(cable.attenuation_db(1e6, 100.0), cable.attenuation_db(1e6, 500.0));
+  EXPECT_LT(cable.attenuation_db(1e6, 500.0), cable.attenuation_db(8e6, 500.0));
+  EXPECT_DOUBLE_EQ(cable.attenuation_db(1e6, 0.0), 0.0);
+}
+
+TEST(Cable, AttenuationLinearInLength) {
+  const CableModel cable = CableModel::pe04();
+  EXPECT_NEAR(cable.attenuation_db(3e6, 600.0), 2.0 * cable.attenuation_db(3e6, 300.0),
+              1e-12);
+}
+
+TEST(Cable, PowerGainMatchesAttenuation) {
+  const CableModel cable = CableModel::pe04();
+  const double att = cable.attenuation_db(5e6, 400.0);
+  EXPECT_NEAR(cable.power_gain(5e6, 400.0), std::pow(10.0, -att / 10.0), 1e-15);
+}
+
+TEST(Cable, RealisticMagnitude) {
+  // 0.4 mm pair at 1 MHz: roughly 20-30 dB/km.
+  const CableModel cable = CableModel::pe04();
+  const double db_per_km = cable.attenuation_db(1e6, 1000.0);
+  EXPECT_GT(db_per_km, 15.0);
+  EXPECT_LT(db_per_km, 35.0);
+}
+
+TEST(Cable, Validation) {
+  const CableModel cable = CableModel::pe04();
+  EXPECT_THROW(cable.attenuation_db(-1.0, 100.0), util::InvalidArgument);
+  EXPECT_THROW(cable.attenuation_db(1e6, -1.0), util::InvalidArgument);
+}
+
+TEST(Vdsl2, ToneGridCoversBandPlan) {
+  const Vdsl2Parameters p = Vdsl2Parameters::profile_17a();
+  const auto tones = p.downstream_tones();
+  ASSERT_FALSE(tones.empty());
+  EXPECT_GE(tones.front(), 138e3);
+  EXPECT_LT(tones.back(), 17.664e6);
+  // Tones are on the 4.3125 kHz grid, strictly increasing.
+  for (std::size_t i = 0; i < tones.size(); ++i) {
+    const double n = tones[i] / kToneSpacingHz;
+    EXPECT_NEAR(n, std::round(n), 1e-9);
+    if (i > 0) { EXPECT_GT(tones[i], tones[i - 1]); }
+  }
+}
+
+TEST(Vdsl2, ToneCountsOrderedByPlanWidth) {
+  const auto t17 = Vdsl2Parameters::profile_17a().downstream_tones().size();
+  const auto t8 = Vdsl2Parameters::profile_8b().downstream_tones().size();
+  const auto ds1 = Vdsl2Parameters::profile_ds1_only().downstream_tones().size();
+  EXPECT_GT(t17, t8);
+  EXPECT_GT(t8, ds1);
+  // DS1: (3.75 MHz - 138 kHz) / 4.3125 kHz ~ 838 tones.
+  EXPECT_NEAR(static_cast<double>(ds1), 838.0, 3.0);
+}
+
+TEST(Vdsl2, TonesSkipTheUpstreamGap) {
+  // 998 band plan has no downstream tones in (3.75, 5.2) MHz.
+  for (double tone : Vdsl2Parameters::profile_17a().downstream_tones()) {
+    EXPECT_FALSE(tone > 3.75e6 && tone < 5.2e6) << tone;
+  }
+}
+
+TEST(Vdsl2, EffectiveGapCombinesMarginAndCoding) {
+  Vdsl2Parameters p = Vdsl2Parameters::profile_17a();
+  EXPECT_NEAR(p.effective_gap_db(), 9.75 + 6.0 - 3.0, 1e-12);
+}
+
+TEST(Vdsl2, ServiceProfiles) {
+  EXPECT_DOUBLE_EQ(ServiceProfile::mbps30().plan_rate_bps, 30e6);
+  EXPECT_DOUBLE_EQ(ServiceProfile::mbps62().plan_rate_bps, 62e6);
+}
+
+TEST(Binder, LayoutHas25Pairs) {
+  const Binder25 binder;
+  EXPECT_EQ(binder.pair_count(), 25);
+}
+
+TEST(Binder, AdjacentPairsCoupleStrongest) {
+  const Binder25 binder;
+  // Outer-ring neighbours (9 and 10) are closer than opposite sides (9, 17).
+  EXPECT_GT(binder.coupling_factor(9, 10), binder.coupling_factor(9, 17));
+  // Coupling factor is at most 1 (normalised to the closest pairs).
+  for (int a = 0; a < 25; ++a) {
+    for (int b = 0; b < 25; ++b) {
+      if (a == b) continue;
+      EXPECT_LE(binder.coupling_factor(a, b), 1.0 + 1e-12);
+      EXPECT_GT(binder.coupling_factor(a, b), 0.0);
+    }
+  }
+}
+
+TEST(Binder, CouplingSymmetry) {
+  const Binder25 binder;
+  for (int a = 0; a < 25; ++a) {
+    for (int b = a + 1; b < 25; ++b) {
+      EXPECT_DOUBLE_EQ(binder.coupling_factor(a, b), binder.coupling_factor(b, a));
+    }
+  }
+}
+
+TEST(Binder, SelfCouplingRejected) {
+  const Binder25 binder;
+  EXPECT_THROW(binder.coupling_factor(3, 3), util::InvalidArgument);
+}
+
+TEST(Survey, PerCardStatisticsLookRandom) {
+  AttenuationSurveyConfig config;
+  sim::Random rng(42);
+  const AttenuationSurvey survey = run_attenuation_survey(config, rng);
+  ASSERT_EQ(survey.cards.size(), 14u);
+  // The appendix claim: similar distribution on every card, minimal
+  // variation in means -> between-card spread is far below the overall
+  // spread.
+  EXPECT_LT(survey.between_card_stddev, survey.overall_stddev * 0.25);
+  for (const auto& card : survey.cards) {
+    EXPECT_GT(card.stddev, 0.0);
+    EXPECT_LE(card.p25, card.median);
+    EXPECT_LE(card.median, card.p75);
+    EXPECT_GE(card.min, config.min_length_m / config.meters_per_db - 1e-9);
+    EXPECT_LE(card.max, config.max_length_m / config.meters_per_db + 1e-9);
+    EXPECT_NEAR(card.mean, survey.overall_mean, survey.overall_stddev);
+  }
+}
+
+TEST(Survey, OneMileSigmaInDb) {
+  // sigma of one mile with 70 m/dB ~= 23 dB of attenuation spread.
+  AttenuationSurveyConfig config;
+  config.min_length_m = -1e9;  // disable clamping for the check
+  config.max_length_m = 1e9;
+  sim::Random rng(43);
+  const AttenuationSurvey survey = run_attenuation_survey(config, rng);
+  EXPECT_NEAR(survey.overall_stddev, 1609.344 / 70.0, 2.0);
+}
+
+TEST(Survey, Validation) {
+  AttenuationSurveyConfig config;
+  config.line_cards = 0;
+  sim::Random rng(1);
+  EXPECT_THROW(run_attenuation_survey(config, rng), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::dsl

@@ -1,0 +1,84 @@
+// Dedicated tests for the Fig. 15 attenuation survey: population shape,
+// clamping, determinism, and the randomness argument of the appendix.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dsl/attenuation_survey.h"
+#include "util/units.h"
+
+namespace insomnia::dsl {
+namespace {
+
+TEST(AttenuationSurvey, ShapeMatchesConfig) {
+  AttenuationSurveyConfig config;
+  config.line_cards = 5;
+  config.ports_per_card = 10;
+  sim::Random rng(1);
+  const AttenuationSurvey survey = run_attenuation_survey(config, rng);
+  ASSERT_EQ(survey.cards.size(), 5u);
+  for (std::size_t i = 0; i < survey.cards.size(); ++i) {
+    EXPECT_EQ(survey.cards[i].card, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(AttenuationSurvey, ClampingBoundsAttenuation) {
+  AttenuationSurveyConfig config;
+  config.mean_length_m = 100.0;  // mass below the clamp floor
+  config.sigma_length_m = 2000.0;
+  config.min_length_m = 150.0;
+  config.max_length_m = 900.0;
+  sim::Random rng(2);
+  const AttenuationSurvey survey = run_attenuation_survey(config, rng);
+  for (const auto& card : survey.cards) {
+    EXPECT_GE(card.min, 150.0 / config.meters_per_db - 1e-9);
+    EXPECT_LE(card.max, 900.0 / config.meters_per_db + 1e-9);
+  }
+}
+
+TEST(AttenuationSurvey, MeanTracksPopulationMean) {
+  AttenuationSurveyConfig config;
+  sim::Random rng(3);
+  const AttenuationSurvey survey = run_attenuation_survey(config, rng);
+  EXPECT_NEAR(survey.overall_mean, config.mean_length_m / config.meters_per_db, 2.0);
+}
+
+TEST(AttenuationSurvey, DeterministicGivenSeed) {
+  AttenuationSurveyConfig config;
+  sim::Random a(9);
+  sim::Random b(9);
+  const AttenuationSurvey sa = run_attenuation_survey(config, a);
+  const AttenuationSurvey sb = run_attenuation_survey(config, b);
+  ASSERT_EQ(sa.cards.size(), sb.cards.size());
+  for (std::size_t i = 0; i < sa.cards.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa.cards[i].mean, sb.cards[i].mean);
+    EXPECT_DOUBLE_EQ(sa.cards[i].median, sb.cards[i].median);
+  }
+}
+
+TEST(AttenuationSurvey, RandomAssignmentLeavesNoCardEffect) {
+  // The appendix's argument: if assignment were geographic, card means
+  // would differ systematically. Random assignment keeps the between-card
+  // spread a small fraction of the within-card spread.
+  AttenuationSurveyConfig config;
+  sim::Random rng(4);
+  const AttenuationSurvey survey = run_attenuation_survey(config, rng);
+  EXPECT_LT(survey.between_card_stddev, survey.overall_stddev * 0.3);
+  // And quartile boxes overlap across cards: every card's median lies
+  // within every other card's [p25, p75] expanded by a tolerance.
+  for (const auto& a : survey.cards) {
+    for (const auto& b : survey.cards) {
+      EXPECT_GT(a.median, b.p25 - 5.0);
+      EXPECT_LT(a.median, b.p75 + 5.0);
+    }
+  }
+}
+
+TEST(AttenuationSurvey, OneMileRuleOfThumb) {
+  // 1 dB ~ 70 m (230 ft): the constant the paper quotes for ADSL2+.
+  EXPECT_NEAR(util::kMetersPerDbAdsl2Plus, 70.0, 1e-12);
+  EXPECT_NEAR(util::kMetersPerMile / util::kMetersPerDbAdsl2Plus, 23.0, 0.1);
+}
+
+}  // namespace
+}  // namespace insomnia::dsl

@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dslam/dslam.h"
+#include "sim/random.h"
+#include "util/error.h"
+
+namespace insomnia::dslam {
+namespace {
+
+DslamConfig config_for(SwitchMode mode, int cards = 4, int ports = 12, int k = 4) {
+  DslamConfig config;
+  config.line_cards = cards;
+  config.ports_per_card = ports;
+  config.mode = mode;
+  config.switch_size = k;
+  return config;
+}
+
+TEST(Dslam, ConstructionInvariants) {
+  sim::Random rng(1);
+  Dslam dslam(config_for(SwitchMode::kFixed), rng);
+  EXPECT_EQ(dslam.line_count(), 48);
+  EXPECT_EQ(dslam.card_count(), 4);
+  EXPECT_EQ(dslam.awake_card_count(), 0);
+  EXPECT_EQ(dslam.active_line_count(), 0);
+  // Every line terminates somewhere valid; the mapping is a bijection.
+  std::set<int> cards_seen;
+  std::vector<int> per_card(4, 0);
+  for (int line = 0; line < 48; ++line) {
+    const int card = dslam.card_of_line(line);
+    ASSERT_GE(card, 0);
+    ASSERT_LT(card, 4);
+    ++per_card[static_cast<std::size_t>(card)];
+  }
+  for (int count : per_card) EXPECT_EQ(count, 12);
+}
+
+TEST(Dslam, KSwitchSizeMustDivideCards) {
+  sim::Random rng(1);
+  EXPECT_THROW(Dslam(config_for(SwitchMode::kKSwitch, 4, 12, 3), rng),
+               util::InvalidArgument);
+  EXPECT_NO_THROW(Dslam(config_for(SwitchMode::kKSwitch, 4, 12, 2), rng));
+}
+
+TEST(Dslam, FixedModeNeverRemaps) {
+  sim::Random rng(2);
+  Dslam dslam(config_for(SwitchMode::kFixed), rng);
+  std::vector<int> original;
+  for (int line = 0; line < 48; ++line) original.push_back(dslam.card_of_line(line));
+  for (int line = 0; line < 48; line += 3) dslam.line_activated(line);
+  for (int line = 0; line < 48; line += 6) dslam.line_deactivated(line);
+  for (int line = 0; line < 48; ++line) {
+    EXPECT_EQ(dslam.card_of_line(line), original[static_cast<std::size_t>(line)]);
+  }
+}
+
+TEST(Dslam, CardAwakeTracksActiveLines) {
+  sim::Random rng(3);
+  Dslam dslam(config_for(SwitchMode::kFixed), rng);
+  dslam.line_activated(7);
+  EXPECT_EQ(dslam.awake_card_count(), 1);
+  EXPECT_TRUE(dslam.card_awake(dslam.card_of_line(7)));
+  dslam.line_deactivated(7);
+  EXPECT_EQ(dslam.awake_card_count(), 0);
+}
+
+TEST(Dslam, DoubleTransitionsAreIdempotent) {
+  sim::Random rng(4);
+  Dslam dslam(config_for(SwitchMode::kFixed), rng);
+  dslam.line_activated(3);
+  dslam.line_activated(3);
+  EXPECT_EQ(dslam.active_line_count(), 1);
+  dslam.line_deactivated(3);
+  dslam.line_deactivated(3);
+  EXPECT_EQ(dslam.active_line_count(), 0);
+}
+
+TEST(Dslam, KSwitchPacksActivesOntoFewCards) {
+  sim::Random rng(5);
+  Dslam dslam(config_for(SwitchMode::kKSwitch), rng);
+  // Activate 12 random lines: with 12 4-switches a full switch would need
+  // exactly 1 card; the k-switch should get close (<= 4 but usually 1-2,
+  // and never worse than fixed's expected ~4).
+  std::vector<int> lines(48);
+  std::iota(lines.begin(), lines.end(), 0);
+  rng.shuffle(lines);
+  for (int i = 0; i < 12; ++i) dslam.line_activated(lines[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(dslam.active_line_count(), 12);
+  EXPECT_LE(dslam.awake_card_count(), 2);
+}
+
+TEST(Dslam, KSwitchWakeMovesOnlyTheWakingLine) {
+  sim::Random rng(6);
+  Dslam dslam(config_for(SwitchMode::kKSwitch), rng);
+  // Activate a batch, snapshot their cards, wake one more line: previously
+  // active lines must not move (non-disruption).
+  for (int line = 0; line < 8; ++line) dslam.line_activated(line);
+  std::vector<int> before;
+  for (int line = 0; line < 8; ++line) before.push_back(dslam.card_of_line(line));
+  dslam.line_activated(20);
+  for (int line = 0; line < 8; ++line) {
+    EXPECT_EQ(dslam.card_of_line(line), before[static_cast<std::size_t>(line)]);
+  }
+}
+
+TEST(Dslam, KSwitchSleepLeavesMappingUntouched) {
+  sim::Random rng(7);
+  Dslam dslam(config_for(SwitchMode::kKSwitch), rng);
+  dslam.line_activated(5);
+  const int card = dslam.card_of_line(5);
+  dslam.line_deactivated(5);
+  EXPECT_EQ(dslam.card_of_line(5), card);
+}
+
+TEST(Dslam, FullSwitchJoinsAwakeCards) {
+  sim::Random rng(8);
+  Dslam dslam(config_for(SwitchMode::kFullSwitch), rng);
+  dslam.line_activated(0);
+  const int first_card = dslam.card_of_line(0);
+  // Every subsequent wake lands on an already-awake card while there is
+  // room (12 ports per card).
+  for (int line = 1; line < 12; ++line) {
+    dslam.line_activated(line);
+    EXPECT_EQ(dslam.card_of_line(line), first_card);
+  }
+  EXPECT_EQ(dslam.awake_card_count(), 1);
+  dslam.line_activated(12);  // card full -> second card wakes
+  EXPECT_EQ(dslam.awake_card_count(), 2);
+}
+
+TEST(Dslam, RepackAllReachesMinimum) {
+  sim::Random rng(9);
+  for (SwitchMode mode :
+       {SwitchMode::kFixed, SwitchMode::kKSwitch, SwitchMode::kFullSwitch}) {
+    Dslam dslam(config_for(mode), rng);
+    std::vector<int> lines(48);
+    std::iota(lines.begin(), lines.end(), 0);
+    rng.shuffle(lines);
+    const int actives = 17;  // needs ceil(17/12) = 2 cards
+    for (int i = 0; i < actives; ++i) dslam.line_activated(lines[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(dslam.repack_all(), dslam.minimal_awake_cards());
+    EXPECT_EQ(dslam.minimal_awake_cards(), 2);
+    EXPECT_EQ(dslam.active_line_count(), actives);
+  }
+}
+
+TEST(Dslam, MinimalAwakeCards) {
+  sim::Random rng(10);
+  Dslam dslam(config_for(SwitchMode::kFullSwitch), rng);
+  EXPECT_EQ(dslam.minimal_awake_cards(), 0);
+  dslam.line_activated(0);
+  EXPECT_EQ(dslam.minimal_awake_cards(), 1);
+}
+
+/// Property sweep: under random activate/deactivate churn the k-switch
+/// fabric never uses more cards than fixed wiring would, and per-card
+/// occupancy stays consistent.
+class KSwitchChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(KSwitchChurn, InvariantsUnderChurn) {
+  sim::Random rng(static_cast<std::uint64_t>(GetParam()));
+  sim::Random rng_fixed = rng;
+  Dslam kswitch(config_for(SwitchMode::kKSwitch), rng);
+  Dslam fixed(config_for(SwitchMode::kFixed), rng_fixed);  // same wiring
+
+  std::vector<bool> active(48, false);
+  long kswitch_card_steps = 0;
+  long fixed_card_steps = 0;
+  for (int step = 0; step < 400; ++step) {
+    const int line = rng.uniform_int(0, 47);
+    if (active[static_cast<std::size_t>(line)]) {
+      kswitch.line_activated(line);  // no-op churn
+      kswitch.line_deactivated(line);
+      fixed.line_deactivated(line);
+      active[static_cast<std::size_t>(line)] = false;
+    } else {
+      kswitch.line_activated(line);
+      fixed.line_activated(line);
+      active[static_cast<std::size_t>(line)] = true;
+    }
+    ASSERT_EQ(kswitch.active_line_count(), fixed.active_line_count());
+    ASSERT_GE(kswitch.awake_card_count(), kswitch.minimal_awake_cards());
+    ASSERT_LE(kswitch.awake_card_count(), 4);
+    kswitch_card_steps += kswitch.awake_card_count();
+    fixed_card_steps += fixed.awake_card_count();
+  }
+  // The fabric's whole point: on aggregate, packing needs no more cards
+  // than fixed wiring (transient holes after sleeps allow momentary ties or
+  // small inversions, hence the sum comparison).
+  EXPECT_LE(kswitch_card_steps, fixed_card_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KSwitchChurn, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace insomnia::dslam

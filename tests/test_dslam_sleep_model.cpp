@@ -1,0 +1,143 @@
+// Validates the §4.2 analytic sleep model, including the paper's Eq. (2)
+// erratum: the published expression omits binomial coefficients, so Monte
+// Carlo agrees with the corrected binomial tail — not with the published
+// formula — except where they coincide (l=1, or k small).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dslam/sleep_model.h"
+#include "util/error.h"
+
+namespace insomnia::dslam {
+namespace {
+
+TEST(SleepModel, AtLeastInactiveDegenerateCases) {
+  EXPECT_DOUBLE_EQ(prob_at_least_inactive(0, 4, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(prob_at_least_inactive(4, 4, 0.0), 1.0);  // all inactive
+  EXPECT_DOUBLE_EQ(prob_at_least_inactive(1, 4, 1.0), 0.0);  // all active
+}
+
+TEST(SleepModel, AtLeastInactiveKnownValues) {
+  // k=2, p=0.5: P{>=1 inactive} = 1 - 0.25 = 0.75; P{2 inactive} = 0.25.
+  EXPECT_NEAR(prob_at_least_inactive(1, 2, 0.5), 0.75, 1e-12);
+  EXPECT_NEAR(prob_at_least_inactive(2, 2, 0.5), 0.25, 1e-12);
+}
+
+TEST(SleepModel, ExactFormulaMatchesHandComputation) {
+  // l=1: (1 - p^k)^m.
+  const double direct = std::pow(1.0 - std::pow(0.5, 4), 24);
+  EXPECT_NEAR(sleep_probability_exact(1, 4, 24, 0.5), direct, 1e-12);
+}
+
+TEST(SleepModel, PaperFormulaEqualsExactOnlyForFirstCard) {
+  // For l=1 the omitted binomial coefficient is C(k,0)=1: no difference.
+  EXPECT_NEAR(sleep_probability_paper(1, 8, 24, 0.5),
+              sleep_probability_exact(1, 8, 24, 0.5), 1e-12);
+  // For l>=2 the published formula overestimates (it drops C(k,i) >= k).
+  EXPECT_GT(sleep_probability_paper(2, 8, 24, 0.5),
+            sleep_probability_exact(2, 8, 24, 0.5));
+}
+
+TEST(SleepModel, MonotoneInCardIndex) {
+  for (int l = 1; l < 8; ++l) {
+    EXPECT_GE(sleep_probability_exact(l, 8, 24, 0.35),
+              sleep_probability_exact(l + 1, 8, 24, 0.35));
+  }
+}
+
+TEST(SleepModel, MonotoneInActivityProbability) {
+  for (double p = 0.1; p < 0.9; p += 0.1) {
+    EXPECT_GE(sleep_probability_exact(2, 8, 24, p),
+              sleep_probability_exact(2, 8, 24, p + 0.1));
+  }
+}
+
+TEST(SleepModel, MoreModemsMakeSleepHarder) {
+  EXPECT_GT(sleep_probability_exact(2, 8, 12, 0.5),
+            sleep_probability_exact(2, 8, 24, 0.5));
+}
+
+TEST(SleepModel, NoSwitchingCollapse) {
+  // k=1 (no switching): card sleeps iff all m lines idle = (1-p)^m.
+  EXPECT_NEAR(sleep_probability_exact(1, 1, 48, 0.05),
+              std::pow(0.95, 48), 1e-12);
+  // The paper's §4.1 example: 48 ports at 5 % utilization -> ~8 %.
+  EXPECT_NEAR(sleep_probability_exact(1, 1, 48, 0.05), 0.085, 0.005);
+}
+
+/// Monte-Carlo agreement with the *corrected* formula across (l, k, p).
+struct McCase {
+  int l;
+  int k;
+  double p;
+};
+
+class SleepModelMc : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(SleepModelMc, MonteCarloMatchesExactBinomialTail) {
+  const auto [l, k, p] = GetParam();
+  const int m = 6;  // small m keeps MC variance workable
+  sim::Random rng(1000 + static_cast<std::uint64_t>(l * 100 + k * 10));
+  const double mc = sleep_probability_monte_carlo(l, k, m, p, 60000, rng);
+  const double exact = sleep_probability_exact(l, k, m, p);
+  EXPECT_NEAR(mc, exact, 0.01) << "l=" << l << " k=" << k << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SleepModelMc,
+    ::testing::Values(McCase{1, 2, 0.5}, McCase{2, 2, 0.5}, McCase{1, 4, 0.25},
+                      McCase{2, 4, 0.25}, McCase{3, 4, 0.5}, McCase{1, 8, 0.5},
+                      McCase{2, 8, 0.25}, McCase{4, 8, 0.25}, McCase{2, 8, 0.75}));
+
+TEST(SleepModel, PaperFormulaDisagreesWithMonteCarloForDeepCards) {
+  // Quantifies the erratum: at l=3, k=8, p=0.5 the published formula is far
+  // from what simulation yields.
+  sim::Random rng(77);
+  const double mc = sleep_probability_monte_carlo(3, 8, 6, 0.5, 60000, rng);
+  const double paper = sleep_probability_paper(3, 8, 6, 0.5);
+  const double exact = sleep_probability_exact(3, 8, 6, 0.5);
+  EXPECT_NEAR(mc, exact, 0.01);
+  EXPECT_GT(paper - mc, 0.2);
+}
+
+TEST(SleepModel, ExpectedSleepingCardsBounds) {
+  const double expected = expected_sleeping_cards(4, 12, 0.25);
+  EXPECT_GT(expected, 0.0);
+  EXPECT_LT(expected, 4.0);
+  // With p=0 all cards sleep; with p=1 none do.
+  EXPECT_NEAR(expected_sleeping_cards(4, 12, 0.0), 4.0, 1e-12);
+  EXPECT_NEAR(expected_sleeping_cards(4, 12, 1.0), 0.0, 1e-12);
+}
+
+TEST(SleepModel, FullSwitchApproximationAndExactExpectation) {
+  // Paper: full switching powers off floor(n(1-p)/m) cards.
+  EXPECT_EQ(full_switch_sleeping_cards_approx(4, 12, 0.5), 2);
+  EXPECT_EQ(full_switch_sleeping_cards_approx(4, 12, 0.25), 3);
+  const double exact = full_switch_expected_sleeping_cards(4, 12, 0.5);
+  EXPECT_NEAR(exact, 1.7, 0.4);  // jensen gap below the deterministic floor
+  EXPECT_NEAR(full_switch_expected_sleeping_cards(4, 12, 0.0), 4.0, 1e-9);
+  // One awake line pins one card: 3 cards sleep in expectation minus tail.
+  EXPECT_LE(full_switch_expected_sleeping_cards(4, 12, 1.0), 1e-12);
+}
+
+TEST(SleepModel, FullSwitchBeatsKSwitch) {
+  // A full switch can never do worse than k-switches in expectation.
+  for (double p : {0.25, 0.5, 0.75}) {
+    EXPECT_GE(full_switch_expected_sleeping_cards(8, 24, p) + 1e-9,
+              expected_sleeping_cards(8, 24, p));
+  }
+}
+
+TEST(SleepModel, ArgumentValidation) {
+  EXPECT_THROW(sleep_probability_exact(0, 4, 24, 0.5), util::InvalidArgument);
+  EXPECT_THROW(sleep_probability_exact(5, 4, 24, 0.5), util::InvalidArgument);
+  EXPECT_THROW(sleep_probability_exact(1, 4, 0, 0.5), util::InvalidArgument);
+  EXPECT_THROW(sleep_probability_exact(1, 4, 24, 1.5), util::InvalidArgument);
+  sim::Random rng(1);
+  EXPECT_THROW(sleep_probability_monte_carlo(1, 4, 24, 0.5, 0, rng),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::dslam

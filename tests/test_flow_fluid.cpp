@@ -1,0 +1,184 @@
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "flow/fluid_network.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace insomnia::flow {
+namespace {
+
+struct Harness {
+  sim::Simulator sim;
+  FluidNetwork net;
+  std::map<FlowId, CompletedFlow> done;
+
+  explicit Harness(std::vector<double> backhaul)
+      : net(sim, std::move(backhaul)) {
+    net.set_completion_handler([this](const CompletedFlow& f) { done[f.id] = f; });
+  }
+};
+
+TEST(FluidNetwork, SingleFlowExactCompletionTime) {
+  Harness h({1e6});  // 1 Mbps
+  h.net.set_gateway_serving(0, true);
+  // 1 Mbit = 125000 bytes at 1 Mbps -> exactly 1 s.
+  h.net.add_flow(1, 0, 0, 125000.0, 1e9);
+  h.sim.run_until(10.0);
+  ASSERT_TRUE(h.done.contains(1));
+  EXPECT_NEAR(h.done[1].duration(), 1.0, 1e-9);
+}
+
+TEST(FluidNetwork, WirelessCapLimitsRate) {
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  // Cap at 0.5 Mbps: the 1 Mbit flow takes 2 s.
+  h.net.add_flow(1, 0, 0, 125000.0, 0.5e6);
+  h.sim.run_until(10.0);
+  EXPECT_NEAR(h.done[1].duration(), 2.0, 1e-9);
+}
+
+TEST(FluidNetwork, TwoFlowsShareFairly) {
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  h.net.add_flow(1, 0, 0, 125000.0, 1e9);
+  h.net.add_flow(2, 1, 0, 125000.0, 1e9);
+  h.sim.run_until(10.0);
+  // Both progress at 0.5 Mbps until both finish at t=2.
+  EXPECT_NEAR(h.done[1].completion_time, 2.0, 1e-9);
+  EXPECT_NEAR(h.done[2].completion_time, 2.0, 1e-9);
+}
+
+TEST(FluidNetwork, ShortFlowLeavesLongFlowSpeedsUp) {
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  h.net.add_flow(1, 0, 0, 125000.0, 1e9);  // 1 Mbit
+  h.net.add_flow(2, 1, 0, 62500.0, 1e9);   // 0.5 Mbit
+  h.sim.run_until(10.0);
+  // Shared at 0.5 Mbps: flow 2 done at t=1; flow 1 has 0.5 Mbit left,
+  // finishes at 1 + 0.5 = 1.5 s.
+  EXPECT_NEAR(h.done[2].completion_time, 1.0, 1e-9);
+  EXPECT_NEAR(h.done[1].completion_time, 1.5, 1e-9);
+}
+
+TEST(FluidNetwork, NotServingStallsFlows) {
+  Harness h({1e6});
+  h.net.add_flow(1, 0, 0, 125000.0, 1e9);  // gateway not serving
+  h.sim.run_until(5.0);
+  EXPECT_TRUE(h.done.empty());
+  h.net.set_gateway_serving(0, true);  // resumes at t=5
+  h.sim.run_until(10.0);
+  EXPECT_NEAR(h.done[1].completion_time, 6.0, 1e-9);
+  EXPECT_NEAR(h.done[1].duration(), 6.0, 1e-9);  // stall included in FCT
+}
+
+TEST(FluidNetwork, MidFlightSuspendResume) {
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  h.net.add_flow(1, 0, 0, 250000.0, 1e9);  // 2 Mbit -> 2 s of service
+  h.sim.at(1.0, [&h] { h.net.set_gateway_serving(0, false); });
+  h.sim.at(4.0, [&h] { h.net.set_gateway_serving(0, true); });
+  h.sim.run_until(10.0);
+  EXPECT_NEAR(h.done[1].completion_time, 5.0, 1e-9);  // 1s + 3s stall + 1s
+}
+
+TEST(FluidNetwork, ZeroByteFlowCompletesImmediately) {
+  Harness h({1e6});
+  h.net.add_flow(1, 0, 0, 0.0, 1e9);
+  ASSERT_TRUE(h.done.contains(1));
+  EXPECT_DOUBLE_EQ(h.done[1].duration(), 0.0);
+}
+
+TEST(FluidNetwork, MigrationMovesRemainingBits) {
+  Harness h({1e6, 2e6});
+  h.net.set_gateway_serving(0, true);
+  h.net.set_gateway_serving(1, true);
+  h.net.add_flow(1, 0, 0, 250000.0, 1e9);  // 2 Mbit on 1 Mbps
+  h.sim.at(1.0, [&h] { h.net.migrate_flow(1, 1, 1e9); });  // 1 Mbit left
+  h.sim.run_until(10.0);
+  // Remaining 1 Mbit at 2 Mbps -> 0.5 s after migration.
+  EXPECT_NEAR(h.done[1].completion_time, 1.5, 1e-9);
+  EXPECT_EQ(h.done[1].gateway, 1);
+}
+
+TEST(FluidNetwork, MigrateUnknownOrDoneFlowIsNoOp) {
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  EXPECT_NO_THROW(h.net.migrate_flow(77, 0, 1e6));
+  h.net.add_flow(1, 0, 0, 1000.0, 1e9);
+  h.sim.run_until(1.0);
+  EXPECT_NO_THROW(h.net.migrate_flow(1, 0, 1e6));
+}
+
+TEST(FluidNetwork, ThroughputAndCounts) {
+  Harness h({2e6});
+  h.net.set_gateway_serving(0, true);
+  EXPECT_EQ(h.net.active_flow_count(0), 0);
+  h.net.add_flow(1, 0, 0, 1e9, 1e9);
+  h.net.add_flow(2, 0, 0, 1e9, 1e9);
+  EXPECT_EQ(h.net.active_flow_count(0), 2);
+  EXPECT_EQ(h.net.client_flow_count_at(0, 0), 2);
+  EXPECT_DOUBLE_EQ(h.net.gateway_throughput(0), 2e6);
+  EXPECT_EQ(h.net.total_active_flows(), 2);
+}
+
+TEST(FluidNetwork, ServedBitsIntegrate) {
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  h.net.add_flow(1, 0, 0, 125000.0, 1e9);  // 1 Mbit over 1 s
+  h.sim.run_until(4.0);
+  EXPECT_NEAR(h.net.served_bits(0, 0.0, 4.0), 1e6, 1.0);
+  EXPECT_NEAR(h.net.served_bits(0, 0.0, 0.5), 0.5e6, 1.0);
+}
+
+TEST(FluidNetwork, LoadOverTrailingWindow) {
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  h.net.add_flow(1, 0, 0, 125000.0, 1e9);
+  h.sim.run_until(2.0);
+  // 1 Mbit served within the last 2 s window on a 1 Mbps link -> 50 %.
+  EXPECT_NEAR(h.net.load(0, 2.0), 0.5, 1e-9);
+  h.sim.run_until(100.0);
+  EXPECT_NEAR(h.net.load(0, 10.0), 0.0, 1e-9);
+}
+
+TEST(FluidNetwork, LastActivityTracksArrivalsAndService) {
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  EXPECT_DOUBLE_EQ(h.net.last_activity(0), 0.0);
+  h.sim.at(3.0, [&h] { h.net.add_flow(1, 0, 0, 125000.0, 1e9); });
+  h.sim.run_until(20.0);
+  // The flow finished at t=4; that's the last instant traffic moved.
+  EXPECT_NEAR(h.net.last_activity(0), 4.0, 1e-9);
+}
+
+TEST(FluidNetwork, DuplicateFlowIdRejected) {
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  h.net.add_flow(1, 0, 0, 1e6, 1e9);
+  EXPECT_THROW(h.net.add_flow(1, 0, 0, 1e6, 1e9), util::InvalidArgument);
+}
+
+TEST(FluidNetwork, ValidatesConstruction) {
+  sim::Simulator sim;
+  EXPECT_THROW(FluidNetwork(sim, {}), util::InvalidArgument);
+  EXPECT_THROW(FluidNetwork(sim, {0.0}), util::InvalidArgument);
+}
+
+TEST(FluidNetwork, ManyFlowsDrainCompletely) {
+  Harness h({6e6});
+  h.net.set_gateway_serving(0, true);
+  for (FlowId id = 0; id < 200; ++id) {
+    h.sim.at(static_cast<double>(id) * 0.01, [&h, id] {
+      h.net.add_flow(id, static_cast<int>(id % 7), 0, 10000.0, 12e6);
+    });
+  }
+  h.sim.run_until(1000.0);
+  EXPECT_EQ(h.done.size(), 200u);
+  EXPECT_EQ(h.net.total_active_flows(), 0);
+}
+
+}  // namespace
+}  // namespace insomnia::flow

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "power/device_power.h"
+#include "power/energy_meter.h"
+#include "util/error.h"
+
+namespace insomnia::power {
+namespace {
+
+TEST(DevicePower, StateTable) {
+  const DevicePowerModel m{.active_watts = 10.0, .waking_watts = 8.0, .asleep_watts = 0.5};
+  EXPECT_DOUBLE_EQ(m.watts(PowerState::kActive), 10.0);
+  EXPECT_DOUBLE_EQ(m.watts(PowerState::kWaking), 8.0);
+  EXPECT_DOUBLE_EQ(m.watts(PowerState::kAsleep), 0.5);
+}
+
+TEST(DevicePower, PaperDefaults) {
+  EXPECT_DOUBLE_EQ(defaults::gateway().active_watts, 9.0);
+  EXPECT_DOUBLE_EQ(defaults::wireless_router().active_watts, 5.0);
+  EXPECT_DOUBLE_EQ(defaults::isp_modem().active_watts, 1.0);
+  EXPECT_DOUBLE_EQ(defaults::line_card().active_watts, 98.0);
+  EXPECT_DOUBLE_EQ(defaults::shelf().active_watts, 21.0);
+  // The shelf never sleeps.
+  EXPECT_DOUBLE_EQ(defaults::shelf().asleep_watts, 21.0);
+}
+
+TEST(DevicePower, NoSleepBaselineOfTheScenario) {
+  // §5.1 scenario: 40 gateways (9 W modem-router), shelf, 4 cards, 48 ports.
+  const AccessPowerParams params;
+  EXPECT_DOUBLE_EQ(no_sleep_watts(params, 40, 4, 48), 40 * 9.0 + 21.0 + 4 * 98.0 + 48.0);
+  EXPECT_THROW(no_sleep_watts(params, -1, 0, 0), util::InvalidArgument);
+}
+
+TEST(GroupMeter, InitialPower) {
+  DeviceGroupMeter meter("test", defaults::gateway(), 3, 0.0, PowerState::kActive);
+  EXPECT_DOUBLE_EQ(meter.power_series().value_at(0.0), 27.0);
+  EXPECT_EQ(meter.count_in(PowerState::kActive), 3);
+}
+
+TEST(GroupMeter, TransitionsChangeAggregatePower) {
+  DeviceGroupMeter meter("test", defaults::gateway(), 2, 0.0, PowerState::kAsleep);
+  meter.set_state(0, PowerState::kActive, 10.0);
+  meter.set_state(1, PowerState::kActive, 20.0);
+  meter.set_state(0, PowerState::kAsleep, 30.0);
+  EXPECT_DOUBLE_EQ(meter.power_series().value_at(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(meter.power_series().value_at(15.0), 9.0);
+  EXPECT_DOUBLE_EQ(meter.power_series().value_at(25.0), 18.0);
+  EXPECT_DOUBLE_EQ(meter.power_series().value_at(35.0), 9.0);
+  // Energy: 0*10 + 9*10 + 18*10 + 9*10 = 360 J over [0, 40].
+  EXPECT_DOUBLE_EQ(meter.energy(0.0, 40.0), 360.0);
+}
+
+TEST(GroupMeter, RedundantTransitionIsNoOp) {
+  DeviceGroupMeter meter("test", defaults::gateway(), 1, 0.0, PowerState::kAsleep);
+  meter.set_state(0, PowerState::kAsleep, 10.0);
+  EXPECT_EQ(meter.power_series().change_count(), 1u);
+}
+
+TEST(GroupMeter, OnlineTimeCountsActiveAndWaking) {
+  DeviceGroupMeter meter("test", defaults::gateway(), 1, 0.0, PowerState::kAsleep);
+  meter.set_state(0, PowerState::kWaking, 10.0);
+  meter.set_state(0, PowerState::kActive, 20.0);
+  meter.set_state(0, PowerState::kAsleep, 50.0);
+  EXPECT_DOUBLE_EQ(meter.online_time(0, 0.0, 100.0), 40.0);
+}
+
+TEST(GroupMeter, PerDeviceStatesIndependent) {
+  DeviceGroupMeter meter("test", defaults::isp_modem(), 4, 0.0, PowerState::kAsleep);
+  meter.set_state(2, PowerState::kActive, 5.0);
+  EXPECT_EQ(meter.state(2), PowerState::kActive);
+  EXPECT_EQ(meter.state(0), PowerState::kAsleep);
+  EXPECT_EQ(meter.count_in(PowerState::kAsleep), 3);
+  EXPECT_EQ(meter.device_count(), 4);
+}
+
+TEST(GroupMeter, WakingDrawsPowerButBeforeServing) {
+  // Wake-up draw is the mechanism that makes spurious wake-ups costly.
+  DeviceGroupMeter meter("test", defaults::gateway(), 1, 0.0, PowerState::kAsleep);
+  meter.set_state(0, PowerState::kWaking, 0.0);
+  meter.set_state(0, PowerState::kActive, 60.0);
+  EXPECT_DOUBLE_EQ(meter.energy(0.0, 60.0), 9.0 * 60.0);
+}
+
+}  // namespace
+}  // namespace insomnia::power

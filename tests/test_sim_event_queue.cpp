@@ -1,0 +1,106 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "util/error.h"
+
+namespace insomnia::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(7.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.run_next();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, IsPendingTracksLifecycle) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.is_pending(id));
+  q.run_next();
+  EXPECT_FALSE(q.is_pending(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule(1.0, [&] {
+    fired.push_back(1.0);
+    q.schedule(2.0, [&] { fired.push_back(2.0); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, CallbackMayCancelLaterEvent) {
+  EventQueue q;
+  bool second_ran = false;
+  EventId second = kInvalidEventId;
+  q.schedule(1.0, [&] { q.cancel(second); });
+  second = q.schedule(2.0, [&] { second_ran = true; });
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EventQueue, RunNextOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.run_next(), util::InvalidState);
+  EXPECT_THROW(q.next_time(), util::InvalidState);
+}
+
+TEST(EventQueue, ReturnsFiringTime) {
+  EventQueue q;
+  q.schedule(4.5, [] {});
+  EXPECT_DOUBLE_EQ(q.run_next(), 4.5);
+}
+
+}  // namespace
+}  // namespace insomnia::sim

@@ -1,0 +1,175 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "util/error.h"
+
+namespace insomnia::sim {
+namespace {
+
+TEST(Random, DeterministicFromSeed) {
+  Random a(99);
+  Random b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000) == b.uniform_int(0, 1000)) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(Random, UniformRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Random, UniformIntInclusive) {
+  Random rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, BernoulliExtremes) {
+  Random rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Random, ExponentialMean) {
+  Random rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Random, NormalMoments) {
+  Random rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 3.0, 0.05);
+}
+
+TEST(Random, BoundedParetoWithinBounds) {
+  Random rng(19);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.bounded_pareto(1.2, 10.0, 1000.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 1000.0);
+  }
+}
+
+TEST(Random, BoundedParetoIsHeavyTailed) {
+  Random rng(19);
+  int above_10x_min = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bounded_pareto(1.0, 1.0, 1000.0) > 10.0) ++above_10x_min;
+  }
+  // For alpha=1 truncated at 1000, P(X>10) = (1/10 - 1/1000)/(1 - 1/1000) ~ 9.9%.
+  EXPECT_NEAR(static_cast<double>(above_10x_min) / n, 0.099, 0.02);
+}
+
+TEST(Random, PoissonMean) {
+  Random rng(29);
+  long sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(3.5);
+  EXPECT_NEAR(static_cast<double>(sum) / n, 3.5, 0.05);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Random, BinomialBounds) {
+  Random rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.binomial(10, 0.3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(Random, WeightedIndexProportions) {
+  Random rng(37);
+  const std::vector<double> weights{1.0, 3.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+}
+
+TEST(Random, WeightedIndexAllZeroFallsBackToUniform) {
+  Random rng(37);
+  const std::vector<double> weights{0.0, 0.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) ++counts[rng.weighted_index(weights)];
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(Random, WeightedIndexRejectsBadInput) {
+  Random rng(1);
+  EXPECT_THROW(rng.weighted_index({}), util::InvalidArgument);
+  EXPECT_THROW(rng.weighted_index({1.0, -2.0}), util::InvalidArgument);
+}
+
+TEST(Random, ShufflePreservesElements) {
+  Random rng(41);
+  std::vector<int> items{1, 2, 3, 4, 5};
+  auto copy = items;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, items);
+}
+
+TEST(Random, ForkDecorrelates) {
+  Random parent(55);
+  Random child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.uniform_int(0, 10000) == child.uniform_int(0, 10000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Random, ArgumentValidation) {
+  Random rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), util::InvalidArgument);
+  EXPECT_THROW(rng.exponential(0.0), util::InvalidArgument);
+  EXPECT_THROW(rng.normal(0.0, -1.0), util::InvalidArgument);
+  EXPECT_THROW(rng.bounded_pareto(0.0, 1.0, 2.0), util::InvalidArgument);
+  EXPECT_THROW(rng.bounded_pareto(1.0, 2.0, 1.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::sim

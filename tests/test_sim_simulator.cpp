@@ -1,0 +1,108 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace insomnia::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesToEndTime) {
+  Simulator sim;
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+// Regression: callbacks must observe now() equal to their own firing time
+// (an early version updated the clock only after dispatch, corrupting every
+// time series written from callbacks).
+TEST(Simulator, CallbackSeesItsOwnFiringTime) {
+  Simulator sim;
+  std::vector<double> observed;
+  sim.at(5.0, [&] { observed.push_back(sim.now()); });
+  sim.at(2.0, [&] { observed.push_back(sim.now()); });
+  sim.run_until(10.0);
+  EXPECT_EQ(observed, (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.at(3.0, [&] { sim.after(4.0, [&] { fired_at = sim.now(); }); });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(Simulator, EventsBeyondHorizonStayPending) {
+  Simulator sim;
+  bool ran = false;
+  sim.at(50.0, [&] { ran = true; });
+  sim.run_until(10.0);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(60.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CannotScheduleInThePast) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_THROW(sim.at(5.0, [] {}), util::InvalidArgument);
+  EXPECT_THROW(sim.after(-1.0, [] {}), util::InvalidArgument);
+}
+
+TEST(Simulator, CannotRewind) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_THROW(sim.run_until(5.0), util::InvalidArgument);
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.at(5.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.is_pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(10.0);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.at(static_cast<double>(i), [] {});
+  sim.run_until(10.0);
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, RunToCompletionDrainsEverything) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1.0, [&] {
+    ++count;
+    sim.after(1.0, [&] { ++count; });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, StartTimeRespected) {
+  Simulator sim(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+  EXPECT_THROW(sim.at(50.0, [] {}), util::InvalidArgument);
+}
+
+TEST(Simulator, ChainedSameTimeEventsRunSameInstant) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.at(4.0, [&] {
+    times.push_back(sim.now());
+    sim.after(0.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_until(4.0);
+  EXPECT_EQ(times, (std::vector<double>{4.0, 4.0}));
+}
+
+}  // namespace
+}  // namespace insomnia::sim

@@ -1,0 +1,139 @@
+// Model-based stress tests: the event queue against a reference
+// implementation (sorted multimap), under random schedule/cancel/run
+// interleavings.
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace insomnia::sim {
+namespace {
+
+/// Reference: ordered multimap from (time, sequence) to id.
+class ReferenceQueue {
+ public:
+  EventId schedule(double t) {
+    const EventId id = next_id_++;
+    entries_.emplace(std::make_pair(t, sequence_++), id);
+    return id;
+  }
+  bool cancel(EventId id) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second == id) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  bool empty() const { return entries_.empty(); }
+  std::pair<double, EventId> pop() {
+    auto it = entries_.begin();
+    auto result = std::make_pair(it->first.first, it->second);
+    entries_.erase(it);
+    return result;
+  }
+
+ private:
+  std::map<std::pair<double, std::uint64_t>, EventId> entries_;
+  std::uint64_t sequence_ = 0;
+  EventId next_id_ = 1;
+};
+
+class EventQueueModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueModel, MatchesReferenceUnderRandomOps) {
+  Random rng(static_cast<std::uint64_t>(GetParam()) * 7);
+  EventQueue queue;
+  ReferenceQueue reference;
+  std::vector<EventId> live;
+  std::vector<EventId> fired;
+
+  for (int step = 0; step < 3000; ++step) {
+    const int op = rng.uniform_int(0, 9);
+    if (op < 5) {
+      // Schedule. Times are drawn coarse so ties are common.
+      const double t = static_cast<double>(rng.uniform_int(0, 50));
+      EventId fired_id = 0;
+      const EventId id = queue.schedule(t, [] {});
+      const EventId ref_id = reference.schedule(t);
+      ASSERT_EQ(id, ref_id);
+      live.push_back(id);
+      (void)fired_id;
+    } else if (op < 7 && !live.empty()) {
+      // Cancel a random live id (may already have fired).
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+      const EventId id = live[pick];
+      const bool a = queue.cancel(id);
+      const bool b = reference.cancel(id);
+      ASSERT_EQ(a, b) << "cancel divergence on id " << id;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (!queue.empty()) {
+      ASSERT_FALSE(reference.empty());
+      const double t = queue.next_time();
+      const auto [ref_t, ref_id] = reference.pop();
+      ASSERT_EQ(t, ref_t);
+      queue.run_next();
+      live.erase(std::remove(live.begin(), live.end(), ref_id), live.end());
+    } else {
+      ASSERT_TRUE(reference.empty());
+    }
+    ASSERT_EQ(queue.empty(), reference.empty());
+  }
+  // Drain both; order must match exactly.
+  while (!queue.empty()) {
+    ASSERT_FALSE(reference.empty());
+    const double t = queue.next_time();
+    const auto [ref_t, ref_id] = reference.pop();
+    ASSERT_EQ(t, ref_t);
+    queue.run_next();
+  }
+  ASSERT_TRUE(reference.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModel, ::testing::Range(1, 9));
+
+TEST(SimulatorStress, ManyRecursiveSchedules) {
+  Simulator sim;
+  long executed = 0;
+  // A cascade of events each scheduling two more up to a horizon.
+  std::function<void(double)> spawn = [&](double t) {
+    ++executed;
+    if (t < 50.0) {
+      sim.at(t + 1.0, [&spawn, t] { spawn(t + 1.0); });
+    }
+  };
+  sim.at(0.0, [&spawn] { spawn(0.0); });
+  sim.run_until(100.0);
+  EXPECT_EQ(executed, 51);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(SimulatorStress, InterleavedCancellationFromCallbacks) {
+  Simulator sim;
+  Random rng(3);
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    ids.push_back(sim.at(t, [&] {
+      ++fired;
+      // Cancel a random other event (possibly already fired: no-op).
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(ids.size()) - 1));
+      sim.cancel(ids[pick]);
+    }));
+  }
+  sim.run_until(200.0);
+  EXPECT_GT(fired, 0);
+  EXPECT_LE(fired, 500);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace insomnia::sim

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "stats/cdf.h"
+#include "util/error.h"
+
+namespace insomnia::stats {
+namespace {
+
+TEST(EmpiricalCdf, EmptySample) {
+  EmpiricalCdf cdf({});
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(3.0), 0.0);
+  EXPECT_THROW(cdf.value_at(0.5), util::InvalidArgument);
+}
+
+TEST(EmpiricalCdf, FractionAtOrBelow) {
+  EmpiricalCdf cdf({1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, FractionStrictlyBelow) {
+  EmpiricalCdf cdf({1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(4.0), 0.75);
+}
+
+TEST(EmpiricalCdf, InverseCdf) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 40.0);
+  EXPECT_THROW(cdf.value_at(0.0), util::InvalidArgument);
+}
+
+TEST(EmpiricalCdf, StaircaseCollapsesDuplicates) {
+  EmpiricalCdf cdf({1.0, 1.0, 2.0});
+  const auto steps = cdf.staircase();
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_DOUBLE_EQ(steps[0].first, 1.0);
+  EXPECT_NEAR(steps[0].second, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(steps[1].second, 1.0);
+}
+
+TEST(EmpiricalCdf, RoundTripWithQuantiles) {
+  sim::Random rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 400; ++i) sample.push_back(rng.exponential(2.0));
+  EmpiricalCdf cdf(sample);
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double v = cdf.value_at(q);
+    EXPECT_GE(cdf.fraction_at_or_below(v), q - 1e-12);
+    EXPECT_LT(cdf.fraction_below(v), q + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace insomnia::stats

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+#include "util/error.h"
+
+namespace insomnia::stats {
+namespace {
+
+TEST(Histogram, RequiresIncreasingEdges) {
+  EXPECT_THROW(Histogram({1.0}), util::InvalidArgument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), util::InvalidArgument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), util::InvalidArgument);
+  EXPECT_NO_THROW(Histogram({0.0, 1.0, 5.0}));
+}
+
+TEST(Histogram, BinPlacement) {
+  Histogram h({0.0, 1.0, 2.0});
+  h.add(0.0);
+  h.add(0.999);
+  h.add(1.0);
+  h.add(1.5);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.overflow_weight(), 0.0);
+}
+
+TEST(Histogram, UnderflowDropped) {
+  Histogram h({1.0, 2.0});
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+}
+
+TEST(Histogram, OverflowCaptured) {
+  Histogram h({0.0, 1.0});
+  h.add(1.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.overflow_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(h.overflow_fraction(), 1.0);
+}
+
+TEST(Histogram, WeightedMass) {
+  Histogram h({0.0, 10.0, 20.0});
+  h.add(5.0, 2.5);
+  h.add(15.0, 7.5);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(1), 0.75);
+}
+
+TEST(Histogram, UniformFactory) {
+  Histogram h = Histogram::uniform(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.lower_edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.upper_edge(4), 10.0);
+  EXPECT_THROW(Histogram::uniform(1.0, 1.0, 3), util::InvalidArgument);
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h = Histogram::uniform(0.0, 1.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(0.01 * i);
+  double total = h.overflow_fraction();
+  for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.bin_fraction(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFractionsAreZero) {
+  Histogram h = Histogram::uniform(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow_fraction(), 0.0);
+}
+
+TEST(Histogram, BinLabels) {
+  Histogram h({0.0, 1.0, 2.5});
+  EXPECT_EQ(h.bin_label(0), "0-1");
+  EXPECT_EQ(h.bin_label(1), "1-2.50");
+}
+
+TEST(Fig4Edges, MatchThePaperBinning) {
+  const auto edges = fig4_gap_bin_edges();
+  // 0..21 one-second bins, then 21-40 and 40-60; >60 is the overflow.
+  ASSERT_EQ(edges.size(), 24u);
+  EXPECT_DOUBLE_EQ(edges.front(), 0.0);
+  EXPECT_DOUBLE_EQ(edges[21], 21.0);
+  EXPECT_DOUBLE_EQ(edges[22], 40.0);
+  EXPECT_DOUBLE_EQ(edges.back(), 60.0);
+  Histogram h(edges);
+  EXPECT_EQ(h.bin_count(), 23u);
+}
+
+}  // namespace
+}  // namespace insomnia::stats

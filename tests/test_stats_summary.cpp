@@ -1,0 +1,123 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace insomnia::stats {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  sim::Random rng(11);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Quantile, InterpolatesEvenSample) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), util::InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, 1.5), util::InvalidArgument);
+}
+
+TEST(Quantile, SingleElement) { EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0); }
+
+TEST(MeanStd, MatchRunningStats) {
+  sim::Random rng(3);
+  std::vector<double> values;
+  RunningStats s;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.uniform(0.0, 10.0));
+    s.add(values.back());
+  }
+  EXPECT_NEAR(mean_of(values), s.mean(), 1e-10);
+  EXPECT_NEAR(stddev_of(values), s.stddev(), 1e-10);
+}
+
+TEST(MeanStd, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of({1.0}), 0.0);
+}
+
+/// Property sweep: quantile is monotone in q for random samples.
+class QuantileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotone, MonotoneInOrder) {
+  sim::Random rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back(rng.normal(0.0, 5.0));
+  double previous = quantile(sample, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double value = quantile(sample, q);
+    EXPECT_GE(value, previous - 1e-12);
+    previous = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace insomnia::stats

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "stats/timeseries.h"
+#include "util/error.h"
+
+namespace insomnia::stats {
+namespace {
+
+TEST(StepSeries, ConstantSeries) {
+  StepSeries s(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.value_at(100.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.integral(0.0, 10.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.mean(2.0, 4.0), 5.0);
+}
+
+TEST(StepSeries, StepChanges) {
+  StepSeries s(0.0, 1.0);
+  s.set(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.value_at(9.999), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.integral(0.0, 20.0), 10.0 + 30.0);
+  EXPECT_DOUBLE_EQ(s.integral(5.0, 15.0), 5.0 + 15.0);
+}
+
+TEST(StepSeries, SameValueMergesRuns) {
+  StepSeries s(0.0, 1.0);
+  s.set(5.0, 1.0);
+  EXPECT_EQ(s.change_count(), 1u);
+}
+
+TEST(StepSeries, ZeroWidthOverwrite) {
+  StepSeries s(0.0, 1.0);
+  s.set(5.0, 2.0);
+  s.set(5.0, 7.0);  // overwrite the instant
+  EXPECT_DOUBLE_EQ(s.value_at(5.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.value_at(4.999), 1.0);
+}
+
+TEST(StepSeries, OverwriteBackToPreviousValueCollapses) {
+  StepSeries s(0.0, 1.0);
+  s.set(5.0, 2.0);
+  s.set(5.0, 1.0);  // revert: no change remains
+  EXPECT_EQ(s.change_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.value_at(10.0), 1.0);
+}
+
+TEST(StepSeries, RejectsTimeTravel) {
+  StepSeries s(0.0, 1.0);
+  s.set(5.0, 2.0);
+  EXPECT_THROW(s.set(4.0, 3.0), util::InvalidArgument);
+  EXPECT_THROW(s.value_at(-1.0), util::InvalidArgument);
+  EXPECT_THROW(s.integral(3.0, 2.0), util::InvalidArgument);
+}
+
+TEST(StepSeries, IntegralAdditivity) {
+  sim::Random rng(17);
+  StepSeries s(0.0, rng.uniform(0.0, 10.0));
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.exponential(1.0);
+    s.set(t, rng.uniform(0.0, 10.0));
+  }
+  const double whole = s.integral(0.0, t + 10.0);
+  double parts = 0.0;
+  const double step = (t + 10.0) / 7.0;
+  for (int i = 0; i < 7; ++i) {
+    parts += s.integral(step * i, (i + 1 == 7) ? t + 10.0 : step * (i + 1));
+  }
+  EXPECT_NEAR(whole, parts, 1e-7);
+}
+
+TEST(StepSeries, BinnedMeansMatchIntegrals) {
+  StepSeries s(0.0, 2.0);
+  s.set(50.0, 4.0);
+  const auto bins = s.binned_means(0.0, 100.0, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_DOUBLE_EQ(bins[0], 2.0);
+  EXPECT_DOUBLE_EQ(bins[1], 2.0);
+  EXPECT_DOUBLE_EQ(bins[2], 4.0);
+  EXPECT_DOUBLE_EQ(bins[3], 4.0);
+}
+
+TEST(ElementwiseMean, Averages) {
+  const auto mean = elementwise_mean({{1.0, 2.0}, {3.0, 6.0}});
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 4.0);
+  EXPECT_THROW(elementwise_mean({}), util::InvalidArgument);
+  EXPECT_THROW(elementwise_mean({{1.0}, {1.0, 2.0}}), util::InvalidArgument);
+}
+
+TEST(SumSeries, SumsWithConstant) {
+  StepSeries a(0.0, 1.0);
+  a.set(10.0, 2.0);
+  StepSeries b(0.0, 5.0);
+  b.set(20.0, 0.0);
+  const StepSeries total = sum_series({&a, &b}, 3.0);
+  EXPECT_DOUBLE_EQ(total.value_at(0.0), 9.0);
+  EXPECT_DOUBLE_EQ(total.value_at(15.0), 10.0);
+  EXPECT_DOUBLE_EQ(total.value_at(25.0), 5.0);
+  EXPECT_DOUBLE_EQ(total.integral(0.0, 30.0),
+                   a.integral(0.0, 30.0) + b.integral(0.0, 30.0) + 90.0);
+}
+
+TEST(SumSeries, RandomisedEquivalence) {
+  sim::Random rng(23);
+  StepSeries a(0.0, 0.0);
+  StepSeries b(0.0, 0.0);
+  double ta = 0.0;
+  double tb = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    ta += rng.exponential(2.0);
+    a.set(ta, rng.uniform(0.0, 5.0));
+    tb += rng.exponential(3.0);
+    b.set(tb, rng.uniform(0.0, 5.0));
+  }
+  const StepSeries total = sum_series({&a, &b});
+  for (double t : {1.0, 10.0, 55.5, 200.0, 400.0}) {
+    EXPECT_NEAR(total.value_at(t), a.value_at(t) + b.value_at(t), 1e-12);
+  }
+  EXPECT_NEAR(total.integral(0.0, 500.0),
+              a.integral(0.0, 500.0) + b.integral(0.0, 500.0), 1e-6);
+}
+
+TEST(SumSeries, RequiresSharedStart) {
+  StepSeries a(0.0, 1.0);
+  StepSeries b(1.0, 1.0);
+  EXPECT_THROW(sum_series({&a, &b}), util::InvalidArgument);
+  EXPECT_THROW(sum_series({}), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::stats

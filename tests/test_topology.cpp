@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "topology/access_topology.h"
+#include "topology/degree_sequence.h"
+#include "topology/overlap_graph.h"
+#include "util/error.h"
+
+namespace insomnia::topo {
+namespace {
+
+TEST(DegreeSequence, ErdosGallaiAcceptsKnownGraphical) {
+  EXPECT_TRUE(is_graphical({2, 2, 2}));          // triangle
+  EXPECT_TRUE(is_graphical({1, 1}));             // edge
+  EXPECT_TRUE(is_graphical({3, 3, 3, 3}));       // K4
+  EXPECT_TRUE(is_graphical({}));                 // empty
+  EXPECT_TRUE(is_graphical({0, 0}));             // isolated nodes
+}
+
+TEST(DegreeSequence, ErdosGallaiRejectsImpossible) {
+  EXPECT_FALSE(is_graphical({1}));         // odd sum
+  EXPECT_FALSE(is_graphical({3, 1, 1}));   // odd sum
+  EXPECT_FALSE(is_graphical({4, 1, 1}));   // degree exceeds n-1
+  EXPECT_FALSE(is_graphical({3, 3, 1, 1}));
+}
+
+TEST(DegreeSequence, SamplesAreGraphicalWithEvenSum) {
+  DegreeSequenceConfig config;
+  sim::Random rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto degrees = sample_degree_sequence(config, rng);
+    ASSERT_EQ(degrees.size(), 40u);
+    EXPECT_TRUE(is_graphical(degrees));
+    EXPECT_EQ(std::accumulate(degrees.begin(), degrees.end(), 0) % 2, 0);
+    for (int d : degrees) {
+      EXPECT_GE(d, config.min_degree);
+      EXPECT_LE(d, config.node_count - 1);
+    }
+  }
+}
+
+TEST(DegreeSequence, MeanNearTarget) {
+  DegreeSequenceConfig config;
+  sim::Random rng(5);
+  double total = 0.0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto degrees = sample_degree_sequence(config, rng);
+    total += std::accumulate(degrees.begin(), degrees.end(), 0.0) / 40.0;
+  }
+  EXPECT_NEAR(total / trials, config.mean_degree, 0.5);
+}
+
+TEST(Graph, EdgeBasics) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 2u);
+  g.add_edge(0, 1);  // duplicate ignored
+  EXPECT_EQ(g.edge_count(), 2u);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_THROW(g.add_edge(2, 2), util::InvalidArgument);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, GeneratedGraphRealisesDegrees) {
+  sim::Random rng(17);
+  const std::vector<int> degrees{3, 3, 2, 2, 2, 2, 1, 1};
+  const Graph g = generate_connected_graph(degrees, rng);
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    EXPECT_EQ(g.degree(static_cast<int>(i)), degrees[i]);
+  }
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, GeneratedGraphsAreConnectedAcrossSeeds) {
+  DegreeSequenceConfig config;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::Random rng(seed);
+    const auto degrees = sample_degree_sequence(config, rng);
+    const Graph g = generate_connected_graph(degrees, rng);
+    EXPECT_TRUE(g.is_connected()) << "seed " << seed;
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+      EXPECT_EQ(g.degree(static_cast<int>(i)), degrees[i]);
+    }
+  }
+}
+
+TEST(Graph, RejectsNonGraphicalInput) {
+  sim::Random rng(1);
+  EXPECT_THROW(generate_connected_graph({3, 1}, rng), util::InvalidArgument);
+}
+
+TEST(HomeAssignment, BalancedWithinOne) {
+  sim::Random rng(3);
+  const auto homes = assign_homes_balanced(272, 40, rng);
+  std::vector<int> counts(40, 0);
+  for (int h : homes) ++counts[static_cast<std::size_t>(h)];
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LE(*hi - *lo, 1);
+}
+
+TEST(AccessTopology, OverlapTopologyInvariants) {
+  DegreeSequenceConfig config;
+  sim::Random rng(23);
+  const AccessTopology topology = make_overlap_topology(272, config, rng);
+  EXPECT_EQ(topology.client_count(), 272);
+  for (int c = 0; c < topology.client_count(); ++c) {
+    const auto& reach = topology.client_gateways[static_cast<std::size_t>(c)];
+    ASSERT_FALSE(reach.empty());
+    // Home first, and reachable from itself.
+    EXPECT_EQ(reach.front(), topology.home_gateway[static_cast<std::size_t>(c)]);
+    EXPECT_TRUE(topology.can_reach(c, reach.front()));
+    // No duplicates.
+    auto sorted = reach;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  }
+  // Mean networks in range ~ 1 + mean degree = 5.6 (±1).
+  EXPECT_NEAR(topology.mean_gateways_per_client(), 5.6, 1.0);
+}
+
+TEST(AccessTopology, BinomialDensityHitsTargetMean) {
+  sim::Random rng(29);
+  for (double target : {1.0, 2.0, 5.0, 10.0}) {
+    const AccessTopology topology = make_binomial_topology(1000, 40, target, rng);
+    EXPECT_NEAR(topology.mean_gateways_per_client(), target, 0.35) << target;
+  }
+}
+
+TEST(AccessTopology, BinomialDensityOneIsHomeOnly) {
+  sim::Random rng(29);
+  const AccessTopology topology = make_binomial_topology(50, 10, 1.0, rng);
+  for (const auto& reach : topology.client_gateways) EXPECT_EQ(reach.size(), 1u);
+}
+
+TEST(AccessTopology, BinomialRejectsBadMean) {
+  sim::Random rng(1);
+  EXPECT_THROW(make_binomial_topology(10, 5, 0.5, rng), util::InvalidArgument);
+  EXPECT_THROW(make_binomial_topology(10, 5, 6.0, rng), util::InvalidArgument);
+}
+
+TEST(AccessTopology, LimitGatewaysKeepsHome) {
+  sim::Random rng(31);
+  const AccessTopology dense = make_binomial_topology(100, 12, 8.0, rng);
+  const AccessTopology limited = limit_gateways_per_client(dense, 3, rng);
+  for (int c = 0; c < limited.client_count(); ++c) {
+    const auto& reach = limited.client_gateways[static_cast<std::size_t>(c)];
+    EXPECT_LE(reach.size(), 3u);
+    EXPECT_EQ(reach.front(), limited.home_gateway[static_cast<std::size_t>(c)]);
+    // The kept gateways are a subset of the original reach set.
+    for (int g : reach) EXPECT_TRUE(dense.can_reach(c, g));
+  }
+}
+
+}  // namespace
+}  // namespace insomnia::topo

@@ -1,0 +1,106 @@
+// Validates the Fig. 2 stand-in: daily average and median utilization of a
+// 10 K-subscriber ADSL population.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "trace/adsl_utilization.h"
+#include "util/error.h"
+
+namespace insomnia::trace {
+namespace {
+
+class AdslFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AdslUtilizationConfig config;
+    sim::Random rng(99);
+    day_ = new AdslUtilizationDay(generate_adsl_utilization(config, rng));
+  }
+  static void TearDownTestSuite() {
+    delete day_;
+    day_ = nullptr;
+  }
+  static AdslUtilizationDay* day_;
+};
+
+AdslUtilizationDay* AdslFixture::day_ = nullptr;
+
+TEST_F(AdslFixture, TwentyFourHoursBothDirections) {
+  EXPECT_EQ(day_->downlink.average.size(), 24u);
+  EXPECT_EQ(day_->downlink.median.size(), 24u);
+  EXPECT_EQ(day_->uplink.average.size(), 24u);
+  EXPECT_EQ(day_->uplink.median.size(), 24u);
+}
+
+TEST_F(AdslFixture, PeakAverageBelowNinePercent) {
+  // Fig. 2: "very low average utilization ... does not exceed 9 % even
+  // during the peak hour".
+  const double peak =
+      *std::max_element(day_->downlink.average.begin(), day_->downlink.average.end());
+  EXPECT_LT(peak, 0.09);
+  EXPECT_GT(peak, 0.04);  // but clearly an evening peak, not flat noise
+}
+
+TEST_F(AdslFixture, EveningPeakShape) {
+  const auto& avg = day_->downlink.average;
+  const auto peak_hour =
+      std::max_element(avg.begin(), avg.end()) - avg.begin();
+  EXPECT_GE(peak_hour, 18);
+  EXPECT_LE(peak_hour, 23);
+  // Early morning is the quietest period.
+  EXPECT_LT(avg[4], avg[static_cast<std::size_t>(peak_hour)] / 3.0);
+}
+
+TEST_F(AdslFixture, MedianOrdersOfMagnitudeBelowAverage) {
+  // Fig. 2's right panel: the median is ~0.01-0.05 % while the average is
+  // several percent — most lines idle at any instant.
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_LT(day_->downlink.median[static_cast<std::size_t>(h)], 0.002);
+    if (day_->downlink.average[static_cast<std::size_t>(h)] > 0.01) {
+      EXPECT_GT(day_->downlink.average[static_cast<std::size_t>(h)] /
+                    std::max(day_->downlink.median[static_cast<std::size_t>(h)], 1e-9),
+                20.0);
+    }
+  }
+}
+
+TEST_F(AdslFixture, UplinkBelowDownlink) {
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_LE(day_->uplink.average[static_cast<std::size_t>(h)],
+              day_->downlink.average[static_cast<std::size_t>(h)] + 1e-12);
+  }
+}
+
+TEST_F(AdslFixture, UtilizationsAreFractions) {
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_GE(day_->downlink.average[static_cast<std::size_t>(h)], 0.0);
+    EXPECT_LE(day_->downlink.average[static_cast<std::size_t>(h)], 1.0);
+    EXPECT_GE(day_->uplink.median[static_cast<std::size_t>(h)], 0.0);
+    EXPECT_LE(day_->uplink.median[static_cast<std::size_t>(h)], 1.0);
+  }
+}
+
+TEST(AdslGenerator, SubscriberCountValidated) {
+  AdslUtilizationConfig config;
+  config.subscriber_count = 0;
+  sim::Random rng(1);
+  EXPECT_THROW(generate_adsl_utilization(config, rng), util::InvalidArgument);
+}
+
+TEST(AdslGenerator, FlatProfileRemovesDiurnalShape) {
+  AdslUtilizationConfig config;
+  config.subscriber_count = 4000;
+  config.profile = DiurnalProfile::flat(0.5);
+  sim::Random rng(2);
+  const auto day = generate_adsl_utilization(config, rng);
+  const double lo =
+      *std::min_element(day.downlink.average.begin(), day.downlink.average.end());
+  const double hi =
+      *std::max_element(day.downlink.average.begin(), day.downlink.average.end());
+  EXPECT_LT(hi / std::max(lo, 1e-9), 2.5);  // only sampling noise remains
+}
+
+}  // namespace
+}  // namespace insomnia::trace

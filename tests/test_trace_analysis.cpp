@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "trace/analysis.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace insomnia::trace {
+namespace {
+
+TEST(HourlyUtilization, ExactOnHandcraftedFlows) {
+  // One gateway, capacity 8 Mbps: an hour can carry 3.6e9 bytes.
+  // 3.6e8 bytes in hour 0 -> 10 % utilization.
+  FlowTrace flows{{100.0, 0, 3.6e8}};
+  const std::vector<int> homes{0};
+  const auto util = hourly_gateway_utilization(flows, homes, 1, util::mbps(8.0));
+  EXPECT_NEAR(util[0], 0.10, 1e-12);
+  for (int h = 1; h < 24; ++h) EXPECT_DOUBLE_EQ(util[static_cast<std::size_t>(h)], 0.0);
+}
+
+TEST(HourlyUtilization, AveragesAcrossGateways) {
+  // Two gateways; only gateway 0 carries traffic -> the mean halves it.
+  FlowTrace flows{{10.0, 0, 2.7e8}};
+  const std::vector<int> homes{0, 1};
+  const auto util = hourly_gateway_utilization(flows, homes, 2, util::mbps(6.0));
+  EXPECT_NEAR(util[0], 0.05, 1e-12);
+}
+
+TEST(HourlyUtilization, ClientMapValidated) {
+  FlowTrace flows{{10.0, 5, 100.0}};
+  const std::vector<int> homes{0};  // client 5 unknown
+  EXPECT_THROW(hourly_gateway_utilization(flows, homes, 1, 1e6), util::InvalidArgument);
+}
+
+TEST(GapHistogram, SingleGatewayExactGaps) {
+  // Packets at 100, 103, 110 within a [100, 160) window on one gateway:
+  // gaps of 3, 7 and a 50 s tail.
+  PacketTrace packets{{100.0, 0, 100.0}, {103.0, 0, 100.0}, {110.0, 0, 100.0}};
+  const std::vector<int> homes{0};
+  const auto hist = inter_packet_gap_idle_histogram(packets, homes, 1, 100.0, 160.0);
+  EXPECT_NEAR(hist.total_weight(), 60.0, 1e-9);
+  // Bin 3-4 holds the 3 s gap, bin 7-8 the 7 s gap, bin 40-60 the tail.
+  EXPECT_NEAR(hist.bin_weight(3), 3.0, 1e-9);
+  EXPECT_NEAR(hist.bin_weight(7), 7.0, 1e-9);
+  EXPECT_NEAR(hist.bin_weight(22), 50.0, 1e-9);
+}
+
+TEST(GapHistogram, QuietGatewayIsOneBigGap) {
+  PacketTrace packets;
+  const std::vector<int> homes{0};
+  const auto hist = inter_packet_gap_idle_histogram(packets, homes, 1, 0.0, 120.0);
+  EXPECT_NEAR(hist.overflow_weight(), 120.0, 1e-9);
+  EXPECT_NEAR(idle_fraction_below(hist, 60.0), 0.0, 1e-12);
+}
+
+TEST(GapHistogram, WindowFiltersPackets) {
+  PacketTrace packets{{10.0, 0, 1.0}, {200.0, 0, 1.0}};
+  const std::vector<int> homes{0};
+  const auto hist = inter_packet_gap_idle_histogram(packets, homes, 1, 100.0, 160.0);
+  // Only the window itself contributes (both packets outside).
+  EXPECT_NEAR(hist.total_weight(), 60.0, 1e-9);
+}
+
+TEST(GapHistogram, PerGatewayAttribution) {
+  // Two gateways, packets interleaved; gaps must be computed per gateway.
+  PacketTrace packets{{0.0, 0, 1.0}, {1.0, 1, 1.0}, {2.0, 0, 1.0}, {3.0, 1, 1.0}};
+  const std::vector<int> homes{0, 1};
+  const auto hist = inter_packet_gap_idle_histogram(packets, homes, 2, 0.0, 4.0);
+  // Gateway 0: gaps 2 (0->2) and 2 (2->4 tail); gateway 1: 1 (0->1), 2
+  // (1->3), 1 (3->4 tail). All below 60 s.
+  EXPECT_NEAR(idle_fraction_below(hist, 60.0), 1.0, 1e-12);
+  EXPECT_NEAR(hist.total_weight(), 8.0, 1e-9);
+  EXPECT_NEAR(hist.bin_weight(1), 1.0 + 1.0, 1e-9);  // two 1 s gaps
+  EXPECT_NEAR(hist.bin_weight(2), 2.0 + 2.0 + 2.0, 1e-9);
+}
+
+TEST(SoiSleepBound, HandcraftedWindow) {
+  // One gateway, packets at 10 and 20 inside [0, 100), timeout 60: the only
+  // sleepable stretch is the tail (100 - 20 - 60 = 20 s).
+  PacketTrace packets{{10.0, 0, 1.0}, {20.0, 0, 1.0}};
+  const std::vector<int> homes{0};
+  EXPECT_NEAR(soi_sleep_bound(packets, homes, 1, 0.0, 100.0, 60.0), 0.2, 1e-12);
+  // Zero timeout: every idle second is sleepable -> the whole window.
+  EXPECT_NEAR(soi_sleep_bound(packets, homes, 1, 0.0, 100.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(SoiSleepBound, BusyGatewayCannotSleep) {
+  PacketTrace packets;
+  for (int i = 0; i < 100; ++i) packets.push_back({i * 1.0, 0, 1.0});
+  const std::vector<int> homes{0};
+  EXPECT_NEAR(soi_sleep_bound(packets, homes, 1, 0.0, 100.0, 60.0), 0.0, 1e-12);
+}
+
+TEST(SoiSleepBound, AveragesAcrossGateways) {
+  // Gateway 0 silent (fully sleepable beyond the timeout), gateway 1 busy.
+  PacketTrace packets;
+  for (int i = 0; i < 100; ++i) packets.push_back({i * 1.0, 1, 1.0});
+  const std::vector<int> homes{0, 1};
+  EXPECT_NEAR(soi_sleep_bound(packets, homes, 2, 0.0, 100.0, 60.0), 0.5 * 0.4, 1e-12);
+}
+
+TEST(IdleFraction, ThresholdEdges) {
+  PacketTrace packets{{0.0, 0, 1.0}, {5.0, 0, 1.0}};
+  const std::vector<int> homes{0};
+  const auto hist = inter_packet_gap_idle_histogram(packets, homes, 1, 0.0, 10.0);
+  // One 5 s gap + 5 s tail, both under 6 s... threshold 6 covers both.
+  EXPECT_NEAR(idle_fraction_below(hist, 6.0), 1.0, 1e-12);
+  EXPECT_NEAR(idle_fraction_below(hist, 5.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace insomnia::trace

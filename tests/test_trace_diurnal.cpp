@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "trace/diurnal.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace insomnia::trace {
+namespace {
+
+TEST(Diurnal, FlatProfileIsConstant) {
+  const DiurnalProfile p = DiurnalProfile::flat(0.4);
+  for (double t : {0.0, 3600.0, 43000.0, 86399.0}) EXPECT_DOUBLE_EQ(p.at(t), 0.4);
+}
+
+TEST(Diurnal, InterpolatesBetweenHours) {
+  std::array<double, 24> hourly{};
+  hourly[0] = 0.0;
+  hourly[1] = 1.0;
+  const DiurnalProfile p(hourly);
+  EXPECT_DOUBLE_EQ(p.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(1800.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.at(3600.0), 1.0);
+}
+
+TEST(Diurnal, WrapsAtMidnight) {
+  std::array<double, 24> hourly{};
+  hourly[23] = 1.0;
+  hourly[0] = 0.0;
+  const DiurnalProfile p(hourly);
+  // Half-way between 23:00 and 24:00 interpolates toward hour 0.
+  EXPECT_DOUBLE_EQ(p.at(23.5 * 3600.0), 0.5);
+  // Time beyond one day wraps.
+  EXPECT_DOUBLE_EQ(p.at(86400.0 + 1800.0), p.at(1800.0));
+}
+
+TEST(Diurnal, NegativeTimeWraps) {
+  const DiurnalProfile p = DiurnalProfile::ucsd_office();
+  EXPECT_NEAR(p.at(-3600.0), p.at(23.0 * 3600.0), 1e-12);
+}
+
+TEST(Diurnal, UcsdPeaksLateAfternoon) {
+  const DiurnalProfile p = DiurnalProfile::ucsd_office();
+  EXPECT_EQ(p.peak_hour(), 16);
+  EXPECT_DOUBLE_EQ(p.peak(), 1.0);
+  // Night is far quieter than the peak (the Fig. 3 contrast).
+  EXPECT_LT(p.at(util::hours(3.0)), 0.1);
+}
+
+TEST(Diurnal, ResidentialPeaksInTheEvening) {
+  const DiurnalProfile p = DiurnalProfile::residential();
+  EXPECT_EQ(p.peak_hour(), 21);
+  EXPECT_LT(p.at(util::hours(4.5)), 0.2);
+}
+
+TEST(Diurnal, RejectsOutOfRangeIntensity) {
+  std::array<double, 24> hourly{};
+  hourly[5] = 1.5;
+  EXPECT_THROW(DiurnalProfile{hourly}, util::InvalidArgument);
+  hourly[5] = -0.1;
+  EXPECT_THROW(DiurnalProfile{hourly}, util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::trace

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "trace/flow_ops.h"
+#include "trace/synthetic_crawdad.h"
+#include "util/error.h"
+
+namespace insomnia::trace {
+namespace {
+
+FlowTrace sample_trace() {
+  return {{0.0, 0, 100.0}, {10.0, 1, 200.0}, {20.0, 2, 300.0}, {30.0, 0, 400.0}};
+}
+
+TEST(WindowTrace, CutsAndRebases) {
+  const FlowTrace window = window_trace(sample_trace(), 10.0, 30.0);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window[0].start_time, 0.0);
+  EXPECT_EQ(window[0].client, 1);
+  EXPECT_DOUBLE_EQ(window[1].start_time, 10.0);
+  EXPECT_EQ(window[1].client, 2);
+}
+
+TEST(WindowTrace, HalfOpenBoundaries) {
+  // start inclusive, end exclusive.
+  const FlowTrace window = window_trace(sample_trace(), 10.0, 20.0);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].client, 1);
+}
+
+TEST(WindowTrace, Validation) {
+  EXPECT_THROW(window_trace(sample_trace(), 5.0, 5.0), util::InvalidArgument);
+}
+
+TEST(FoldClients, MapsAndDrops) {
+  // Clients 0 and 2 fold onto terminal 0; client 1 is dropped.
+  const FlowTrace folded = fold_clients(sample_trace(), {0, -1, 0});
+  ASSERT_EQ(folded.size(), 3u);
+  for (const FlowRecord& f : folded) EXPECT_EQ(f.client, 0);
+  EXPECT_DOUBLE_EQ(total_bytes(folded), 100.0 + 300.0 + 400.0);
+}
+
+TEST(FoldClients, RejectsUnmappedClient) {
+  EXPECT_THROW(fold_clients(sample_trace(), {0, 1}), util::InvalidArgument);
+}
+
+TEST(ScaleVolume, MultipliesBytesOnly) {
+  const FlowTrace scaled = scale_volume(sample_trace(), 3.0);
+  ASSERT_EQ(scaled.size(), 4u);
+  EXPECT_DOUBLE_EQ(scaled[0].bytes, 300.0);
+  EXPECT_DOUBLE_EQ(scaled[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(total_bytes(scaled), 3.0 * total_bytes(sample_trace()));
+  EXPECT_THROW(scale_volume(sample_trace(), 0.0), util::InvalidArgument);
+}
+
+TEST(TraceStats, TotalsAndDistinctClients) {
+  EXPECT_DOUBLE_EQ(total_bytes(sample_trace()), 1000.0);
+  EXPECT_EQ(distinct_clients(sample_trace()), 3);
+  EXPECT_EQ(distinct_clients({}), 0);
+  EXPECT_DOUBLE_EQ(total_bytes({}), 0.0);
+}
+
+TEST(TraceOps, ComposeOnGeneratedTrace) {
+  SyntheticTraceConfig config;
+  config.client_count = 20;
+  sim::Random rng(3);
+  const FlowTrace day = SyntheticCrawdadGenerator(config).generate(rng);
+  // Fold everyone onto 4 terminals, cut the afternoon, scale up by 2.
+  std::vector<int> map(20);
+  for (int c = 0; c < 20; ++c) map[static_cast<std::size_t>(c)] = c % 4;
+  const FlowTrace shaped =
+      scale_volume(window_trace(fold_clients(day, map), 12 * 3600.0, 18 * 3600.0), 2.0);
+  EXPECT_LE(distinct_clients(shaped), 4);
+  for (const FlowRecord& f : shaped) {
+    EXPECT_GE(f.start_time, 0.0);
+    EXPECT_LT(f.start_time, 6 * 3600.0);
+  }
+}
+
+}  // namespace
+}  // namespace insomnia::trace

@@ -1,0 +1,73 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "trace/synthetic_crawdad.h"
+#include "trace/trace_io.h"
+#include "util/error.h"
+
+namespace insomnia::trace {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesRecords) {
+  FlowTrace flows{{0.5, 3, 1000.0}, {1.25, 0, 250.75}, {9999.0, 271, 5e8}};
+  std::stringstream buffer;
+  write_flow_trace(buffer, flows);
+  const FlowTrace loaded = read_flow_trace(buffer);
+  ASSERT_EQ(loaded.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_NEAR(loaded[i].start_time, flows[i].start_time, 1e-6);
+    EXPECT_EQ(loaded[i].client, flows[i].client);
+    EXPECT_NEAR(loaded[i].bytes, flows[i].bytes, flows[i].bytes * 1e-6 + 1e-6);
+  }
+}
+
+TEST(TraceIo, RoundTripOfGeneratedTrace) {
+  SyntheticTraceConfig config;
+  config.client_count = 25;
+  sim::Random rng(3);
+  const FlowTrace flows = SyntheticCrawdadGenerator(config).generate(rng);
+  std::stringstream buffer;
+  write_flow_trace(buffer, flows);
+  const FlowTrace loaded = read_flow_trace(buffer);
+  EXPECT_EQ(loaded.size(), flows.size());
+}
+
+TEST(TraceIo, EmptyTrace) {
+  std::stringstream buffer;
+  write_flow_trace(buffer, {});
+  EXPECT_TRUE(read_flow_trace(buffer).empty());
+}
+
+TEST(TraceIo, RejectsWrongColumnCount) {
+  std::istringstream in("start_time,client\n1,2\n");
+  EXPECT_THROW(read_flow_trace(in), util::InvalidArgument);
+}
+
+TEST(TraceIo, RejectsUnsortedTimes) {
+  std::istringstream in("start_time,client,bytes\n5,0,10\n1,0,10\n");
+  EXPECT_THROW(read_flow_trace(in), util::InvalidArgument);
+}
+
+TEST(TraceIo, RejectsMalformedNumbers) {
+  std::istringstream in("start_time,client,bytes\nabc,0,10\n");
+  EXPECT_THROW(read_flow_trace(in), util::InvalidArgument);
+}
+
+TEST(TraceIo, RejectsNegativeBytes) {
+  std::istringstream in("start_time,client,bytes\n1,0,-5\n");
+  EXPECT_THROW(read_flow_trace(in), util::InvalidArgument);
+}
+
+TEST(TraceIo, SaveAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "/trace_io_test.csv";
+  FlowTrace flows{{1.0, 0, 100.0}, {2.0, 1, 200.0}};
+  save_flow_trace(path, flows);
+  const FlowTrace loaded = load_flow_trace(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_THROW(load_flow_trace("/nonexistent/dir/file.csv"), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::trace

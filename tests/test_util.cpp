@@ -1,0 +1,135 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace insomnia::util {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto fields = split("hello", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+TEST(Strings, FormatPercent) { EXPECT_EQ(format_percent(0.661, 1), "66.1%"); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("gateway", "gate"));
+  EXPECT_FALSE(starts_with("gate", "gateway"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(hours(1.5), 5400.0);
+  EXPECT_DOUBLE_EQ(minutes(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(kSecondsPerDay, 86400.0);
+}
+
+TEST(Units, DataConversions) {
+  EXPECT_DOUBLE_EQ(mbps(6.0), 6e6);
+  EXPECT_DOUBLE_EQ(kbps(256.0), 256e3);
+  EXPECT_DOUBLE_EQ(bytes_to_bits(100.0), 800.0);
+}
+
+TEST(Units, DbRoundTrip) {
+  for (double db : {-50.0, -3.0, 0.0, 10.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, WattYearsToTwh) {
+  // 1 GW sustained for a year = 8.76 TWh.
+  EXPECT_NEAR(watt_years_to_twh(1e9), 8.76, 1e-9);
+}
+
+TEST(Error, RequireThrowsOnFailure) {
+  EXPECT_THROW(require(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require_state(false, "bad state"), InvalidState);
+}
+
+TEST(Csv, WriteProducesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.comment("test");
+  writer.header({"a", "b"});
+  const std::vector<double> values{1.5, 2.25};
+  writer.row(values, 2);
+  EXPECT_EQ(out.str(), "# test\na,b\n1.50,2.25\n");
+}
+
+TEST(Csv, ParseSkipsCommentsAndBlanks) {
+  std::istringstream in("# comment\n\na,b\n1,2\n 3 , 4 \n");
+  const CsvDocument doc = parse_csv(in, /*has_header=*/true);
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][0], "3");
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(Csv, ParseWithoutHeader) {
+  std::istringstream in("1,2\n3,4\n");
+  const CsvDocument doc = parse_csv(in, /*has_header=*/false);
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable table;
+  table.set_header({"name", "v"});
+  table.add_row(std::vector<std::string>{"x", "1"});
+  table.add_row(std::vector<std::string>{"longer", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, RejectsMismatchedWidth) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Table, NumericRows) {
+  TextTable table;
+  table.add_row(std::vector<double>{1.234, 5.678}, 1);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("1.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace insomnia::util
