@@ -2,7 +2,7 @@
 // then shows per-line sync rates as neighbouring lines power off — the
 // §6 "crosstalk bonus" at the API level.
 //
-//   $ ./crosstalk_study [loop_length_m] [plan_mbps]
+//   $ ./build/example_crosstalk_study [loop_length_m] [plan_mbps]
 #include <cstdlib>
 #include <iostream>
 

@@ -3,7 +3,7 @@
 // big must the HDF k-switches be to put a target share of line cards to
 // sleep? Uses the §4.2 analytic model (corrected binomial form).
 //
-//   $ ./isp_switch_planner [m] [p] [target_share]
+//   $ ./build/example_isp_switch_planner [m] [p] [target_share]
 #include <cstdlib>
 #include <iostream>
 

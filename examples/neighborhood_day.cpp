@@ -2,7 +2,7 @@
 // and writes CSV time series (power draw, online gateways, online cards) to
 // stdout — ready for plotting.
 //
-//   $ ./neighborhood_day [scheme] [bins]
+//   $ ./build/example_neighborhood_day [scheme] [bins]
 //     scheme: nosleep | soi | soi-k | bh2 | bh2-nobackup | bh2-full | optimal
 //     bins:   number of day bins (default 96 = 15 min)
 #include <cstdlib>

@@ -1,7 +1,7 @@
 // Quickstart: build a small neighbourhood, replay one synthetic day under
 // Sleep-on-Idle and under BH2 + k-switching, and compare energy and QoS.
 //
-//   $ ./quickstart [clients] [gateways]
+//   $ ./build/example_quickstart [clients] [gateways]
 //
 // This walks through the library's core workflow:
 //   1. describe the scenario        (core::ScenarioConfig)

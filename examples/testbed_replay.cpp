@@ -3,7 +3,7 @@
 // 3 gateways in range, 15:00-15:30. Prints the per-minute online-AP count
 // for SoI vs BH2 (no backup), like Fig. 12.
 //
-//   $ ./testbed_replay [runs]
+//   $ ./build/example_testbed_replay [runs]
 #include <cstdlib>
 #include <iostream>
 

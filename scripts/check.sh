@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# One-shot verify: configure + build + test. Exits nonzero on any failure.
+# This is the repo's tier-1 check; run it before every PR.
+#
+# Usage: scripts/check.sh [build-dir]    (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"

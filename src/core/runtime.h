@@ -1,7 +1,10 @@
 // AccessRuntime drives one simulated day of one scheme: it owns the event
 // clock, the fluid data plane, the per-gateway sleep state machines, the
 // DSLAM + switching fabric, and the energy meters, and it replays the flow
-// trace through a pluggable Policy (no-sleep / SoI / BH2 / Optimal).
+// trace through a pluggable Policy. Four policy families exist (no-sleep and
+// SoI in core/home_policy.h, BH2 in core/bh2_policy.h, Optimal in
+// core/optimal_policy.h); crossed with the DSLAM switch fabrics they yield
+// the eight SchemeKind combinations that core/schemes.h exposes.
 #pragma once
 
 #include <functional>

@@ -2,22 +2,25 @@
 
 #include <cmath>
 #include <limits>
-#include <numbers>
 
 #include "util/error.h"
 
 namespace insomnia::dsl {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
 
 Binder25::Binder25() {
   positions_.push_back({0.0, 0.0});  // centre pair
   constexpr int kInner = 8;
   constexpr int kOuter = 16;
   for (int i = 0; i < kInner; ++i) {
-    const double angle = 2.0 * std::numbers::pi * i / kInner;
+    const double angle = 2.0 * kPi * i / kInner;
     positions_.push_back({std::cos(angle), std::sin(angle)});
   }
   for (int i = 0; i < kOuter; ++i) {
-    const double angle = 2.0 * std::numbers::pi * (i + 0.5) / kOuter;
+    const double angle = 2.0 * kPi * (i + 0.5) / kOuter;
     positions_.push_back({2.0 * std::cos(angle), 2.0 * std::sin(angle)});
   }
   min_distance_ = std::numeric_limits<double>::infinity();

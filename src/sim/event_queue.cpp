@@ -18,7 +18,7 @@ bool EventQueue::cancel(EventId id) {
 }
 
 void EventQueue::skip_dead() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+  while (!heap_.empty() && pending_.count(heap_.top().id) == 0) {
     heap_.pop();
   }
 }

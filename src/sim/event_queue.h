@@ -27,7 +27,7 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True if `id` is scheduled and not yet fired or cancelled.
-  bool is_pending(EventId id) const { return pending_.contains(id); }
+  bool is_pending(EventId id) const { return pending_.count(id) != 0; }
 
   /// True if no live events remain.
   bool empty() const { return pending_.empty(); }

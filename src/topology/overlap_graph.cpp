@@ -14,7 +14,7 @@ Graph::Graph(int node_count) {
 }
 
 bool Graph::has_edge(int a, int b) const {
-  return adjacency_.at(static_cast<std::size_t>(a)).contains(b);
+  return adjacency_.at(static_cast<std::size_t>(a)).count(b) != 0;
 }
 
 void Graph::add_edge(int a, int b) {

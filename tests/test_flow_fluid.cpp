@@ -27,7 +27,7 @@ TEST(FluidNetwork, SingleFlowExactCompletionTime) {
   // 1 Mbit = 125000 bytes at 1 Mbps -> exactly 1 s.
   h.net.add_flow(1, 0, 0, 125000.0, 1e9);
   h.sim.run_until(10.0);
-  ASSERT_TRUE(h.done.contains(1));
+  ASSERT_TRUE(h.done.count(1) != 0);
   EXPECT_NEAR(h.done[1].duration(), 1.0, 1e-9);
 }
 
@@ -87,7 +87,7 @@ TEST(FluidNetwork, MidFlightSuspendResume) {
 TEST(FluidNetwork, ZeroByteFlowCompletesImmediately) {
   Harness h({1e6});
   h.net.add_flow(1, 0, 0, 0.0, 1e9);
-  ASSERT_TRUE(h.done.contains(1));
+  ASSERT_TRUE(h.done.count(1) != 0);
   EXPECT_DOUBLE_EQ(h.done[1].duration(), 0.0);
 }
 
