@@ -11,16 +11,18 @@
 #include "bench_common.h"
 #include "core/experiments.h"
 #include "core/metrics.h"
+#include "exec/sweep_runner.h"
 #include "topology/access_topology.h"
 #include "trace/synthetic_crawdad.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Ablation 1", "HDF switch size vs ISP-side savings (BH2 user side)");
 
-  ScenarioConfig scenario;
-  const int runs = runs_from_env(3);
+  const ScenarioConfig scenario = bench::scenario_from_args(argc, argv);
+  const int runs = bench::runs_from_env(3);
+  exec::SweepRunner runner;
   std::cout << "(" << runs << " paired runs)\n\n";
 
   struct Config {
@@ -40,29 +42,38 @@ int main() {
 
   util::TextTable table;
   table.set_header({"fabric", "total savings %", "ISP share %", "peak online cards"});
+  // One fixed topology for every fabric and run (only the DSLAM varies).
+  sim::Random topo_rng(7);
+  const auto topology =
+      topo::make_overlap_topology(scenario.client_count, scenario.degrees, topo_rng);
+
   for (const auto& config : configs) {
-    double savings = 0.0;
-    double isp_share = 0.0;
-    double peak_cards = 0.0;
-    for (int run = 0; run < runs; ++run) {
-      ScenarioConfig shaped = scenario;
-      shaped.dslam.line_cards = config.cards;
-      shaped.dslam.ports_per_card = config.ports;
-      sim::Random topo_rng(7);
-      const auto topology =
-          topo::make_overlap_topology(shaped.client_count, shaped.degrees, topo_rng);
-      sim::Random trace_rng(100 + static_cast<std::uint64_t>(run));
+    ScenarioConfig shaped = scenario;
+    shaped.dslam.line_cards = config.cards;
+    shaped.dslam.ports_per_card = config.ports;
+
+    struct RunRow {
+      double savings;
+      double isp_share;
+      double peak_cards;
+    };
+    const auto rows = runner.run(static_cast<std::size_t>(runs), [&](std::size_t run) {
+      sim::Random trace_rng(100 + run);
       const auto flows =
           trace::SyntheticCrawdadGenerator(shaped.traffic).generate(trace_rng);
       const RunMetrics base =
           run_scheme(shaped, topology, flows, SchemeKind::kNoSleep, 1);
       const RunMetrics m = run_bh2_with_fabric(shaped, topology, flows, config.mode,
-                                               config.switch_size,
-                                               500 + static_cast<std::uint64_t>(run));
-      savings += savings_fraction(m, base, 0.0, m.duration) / runs;
-      isp_share += isp_share_of_savings(m, base, 0.0, m.duration).value_or(0.0) / runs;
-      peak_cards += m.online_cards.mean(11 * 3600.0, 19 * 3600.0) / runs;
-    }
+                                               config.switch_size, 500 + run);
+      return RunRow{savings_fraction(m, base, 0.0, m.duration),
+                    isp_share_of_savings(m, base, 0.0, m.duration).value_or(0.0),
+                    m.online_cards.mean(11 * 3600.0, 19 * 3600.0)};
+    });
+    const double savings = bench::mean_over_runs(rows, [](const RunRow& r) { return r.savings; });
+    const double isp_share =
+        bench::mean_over_runs(rows, [](const RunRow& r) { return r.isp_share; });
+    const double peak_cards =
+        bench::mean_over_runs(rows, [](const RunRow& r) { return r.peak_cards; });
     table.add_row({config.label, bench::num(savings * 100, 1), bench::num(isp_share * 100, 1),
                    bench::num(peak_cards, 2)});
   }

@@ -7,16 +7,18 @@
 #include "bench_common.h"
 #include "core/experiments.h"
 #include "core/metrics.h"
+#include "exec/sweep_runner.h"
 #include "topology/access_topology.h"
 #include "trace/synthetic_crawdad.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Ablation 2", "BH2 threshold and cadence sensitivity (§5.1)");
 
-  ScenarioConfig base_scenario;
-  const int runs = runs_from_env(2);
+  const ScenarioConfig base_scenario = bench::scenario_from_args(argc, argv);
+  const int runs = bench::runs_from_env(2);
+  exec::SweepRunner runner;
   std::cout << "(" << runs << " paired runs per point)\n";
 
   sim::Random topo_rng(7);
@@ -24,25 +26,30 @@ int main() {
                                                     base_scenario.degrees, topo_rng);
 
   auto evaluate = [&](const ScenarioConfig& scenario) {
-    double savings = 0.0;
-    double peak_gw = 0.0;
-    double moves = 0.0;
-    double wakes = 0.0;
-    for (int run = 0; run < runs; ++run) {
-      sim::Random trace_rng(100 + static_cast<std::uint64_t>(run));
+    struct RunRow {
+      double savings;
+      double peak_gw;
+      double moves;
+      double wakes;
+    };
+    const auto rows = runner.run(static_cast<std::size_t>(runs), [&](std::size_t run) {
+      sim::Random trace_rng(100 + run);
       const auto flows =
           trace::SyntheticCrawdadGenerator(scenario.traffic).generate(trace_rng);
       const RunMetrics nosleep =
           run_scheme(scenario, topology, flows, SchemeKind::kNoSleep, 1);
       const RunMetrics m = run_scheme(scenario, topology, flows, SchemeKind::kBh2KSwitch,
-                                      900 + static_cast<std::uint64_t>(run));
-      savings += savings_fraction(m, nosleep, 0.0, m.duration) / runs;
-      peak_gw += m.online_gateways.mean(11 * 3600.0, 19 * 3600.0) / runs;
-      moves += static_cast<double>(m.bh2_moves) / runs;
-      wakes += static_cast<double>(m.gateway_wake_events) / runs;
-    }
-    return std::vector<std::string>{bench::num(savings * 100, 1), bench::num(peak_gw, 1),
-                                    bench::num(moves, 0), bench::num(wakes, 0)};
+                                      900 + run);
+      return RunRow{savings_fraction(m, nosleep, 0.0, m.duration),
+                    m.online_gateways.mean(11 * 3600.0, 19 * 3600.0),
+                    static_cast<double>(m.bh2_moves),
+                    static_cast<double>(m.gateway_wake_events)};
+    });
+    return std::vector<std::string>{
+        bench::num(bench::mean_over_runs(rows, [](const RunRow& r) { return r.savings; }) * 100, 1),
+        bench::num(bench::mean_over_runs(rows, [](const RunRow& r) { return r.peak_gw; }), 1),
+        bench::num(bench::mean_over_runs(rows, [](const RunRow& r) { return r.moves; }), 0),
+        bench::num(bench::mean_over_runs(rows, [](const RunRow& r) { return r.wakes; }), 0)};
   };
 
   std::cout << "\nThreshold sweep (decision period fixed at 150 s):\n";

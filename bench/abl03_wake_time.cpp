@@ -8,18 +8,19 @@
 #include "bench_common.h"
 #include "core/experiments.h"
 #include "core/metrics.h"
+#include "exec/sweep_runner.h"
 #include "topology/access_topology.h"
 #include "trace/synthetic_crawdad.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Ablation 3", "wake-up time: savings and stalls, SoI vs BH2");
 
-  ScenarioConfig base_scenario;
-  const int runs = runs_from_env(2);
+  const ScenarioConfig base_scenario = bench::scenario_from_args(argc, argv);
+  const int runs = bench::runs_from_env(2);
+  exec::SweepRunner runner;
   std::cout << "(" << runs << " paired runs per point)\n\n";
-
   sim::Random topo_rng(7);
   const auto topology = topo::make_overlap_topology(base_scenario.client_count,
                                                     base_scenario.degrees, topo_rng);
@@ -29,22 +30,23 @@ int main() {
   for (double wake : {10.0, 30.0, 60.0, 120.0, 180.0}) {
     ScenarioConfig scenario = base_scenario;
     scenario.wake_time = wake;
-    double soi_savings = 0.0;
-    double bh2_savings = 0.0;
-    double soi_stalls = 0.0;
-    double bh2_stalls = 0.0;
-    for (int run = 0; run < runs; ++run) {
-      sim::Random trace_rng(100 + static_cast<std::uint64_t>(run));
+
+    struct RunRow {
+      double soi_savings;
+      double bh2_savings;
+      double soi_stalls;
+      double bh2_stalls;
+    };
+    const auto rows = runner.run(static_cast<std::size_t>(runs), [&](std::size_t run) {
+      sim::Random trace_rng(100 + run);
       const auto flows =
           trace::SyntheticCrawdadGenerator(scenario.traffic).generate(trace_rng);
       const RunMetrics nosleep =
           run_scheme(scenario, topology, flows, SchemeKind::kNoSleep, 1);
       const RunMetrics soi = run_scheme(scenario, topology, flows, SchemeKind::kSoi,
-                                        70 + static_cast<std::uint64_t>(run));
+                                        70 + run);
       const RunMetrics bh2 = run_scheme(scenario, topology, flows, SchemeKind::kBh2KSwitch,
-                                        80 + static_cast<std::uint64_t>(run));
-      soi_savings += savings_fraction(soi, nosleep, 0.0, soi.duration) / runs;
-      bh2_savings += savings_fraction(bh2, nosleep, 0.0, bh2.duration) / runs;
+                                        80 + run);
       auto stalled = [&](const RunMetrics& m) {
         long count = 0;
         for (std::size_t i = 0; i < m.completion_time.size(); ++i) {
@@ -53,9 +55,18 @@ int main() {
         }
         return static_cast<double>(count);
       };
-      soi_stalls += stalled(soi) / runs;
-      bh2_stalls += stalled(bh2) / runs;
-    }
+      return RunRow{savings_fraction(soi, nosleep, 0.0, soi.duration),
+                    savings_fraction(bh2, nosleep, 0.0, bh2.duration), stalled(soi),
+                    stalled(bh2)};
+    });
+    const double soi_savings =
+        bench::mean_over_runs(rows, [](const RunRow& r) { return r.soi_savings; });
+    const double bh2_savings =
+        bench::mean_over_runs(rows, [](const RunRow& r) { return r.bh2_savings; });
+    const double soi_stalls =
+        bench::mean_over_runs(rows, [](const RunRow& r) { return r.soi_stalls; });
+    const double bh2_stalls =
+        bench::mean_over_runs(rows, [](const RunRow& r) { return r.bh2_stalls; });
     table.add_row({bench::num(wake, 0) + " s" + (wake == 60.0 ? " (paper)" : ""),
                    bench::num(soi_savings * 100, 1), bench::num(bh2_savings * 100, 1),
                    bench::num(soi_stalls, 0), bench::num(bh2_stalls, 0)});

@@ -6,17 +6,19 @@
 #include "bench_common.h"
 #include "core/experiments.h"
 #include "core/metrics.h"
+#include "exec/sweep_runner.h"
 #include "stats/cdf.h"
 #include "topology/access_topology.h"
 #include "trace/synthetic_crawdad.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Ablation 4", "BH2 backup count: savings, aggregation, fairness");
 
-  ScenarioConfig base_scenario;
-  const int runs = runs_from_env(2);
+  const ScenarioConfig base_scenario = bench::scenario_from_args(argc, argv);
+  const int runs = bench::runs_from_env(2);
+  exec::SweepRunner runner;
   std::cout << "(" << runs << " paired runs per point)\n\n";
 
   sim::Random topo_rng(7);
@@ -29,25 +31,34 @@ int main() {
   for (int backup : {0, 1, 2, 3}) {
     ScenarioConfig scenario = base_scenario;
     scenario.bh2.backup = backup;
-    double savings = 0.0;
-    double peak_gw = 0.0;
-    double returns = 0.0;
-    std::vector<double> variation;
-    for (int run = 0; run < runs; ++run) {
-      sim::Random trace_rng(100 + static_cast<std::uint64_t>(run));
+
+    struct RunRow {
+      double savings;
+      double peak_gw;
+      double returns;
+      std::vector<double> variation;
+    };
+    const auto rows = runner.run(static_cast<std::size_t>(runs), [&](std::size_t run) {
+      sim::Random trace_rng(100 + run);
       const auto flows =
           trace::SyntheticCrawdadGenerator(scenario.traffic).generate(trace_rng);
       const RunMetrics nosleep =
           run_scheme(scenario, topology, flows, SchemeKind::kNoSleep, 1);
       const RunMetrics soi = run_scheme(scenario, topology, flows, SchemeKind::kSoi,
-                                        50 + static_cast<std::uint64_t>(run));
+                                        50 + run);
       const RunMetrics bh2 = run_scheme(scenario, topology, flows, SchemeKind::kBh2KSwitch,
-                                        60 + static_cast<std::uint64_t>(run));
-      savings += savings_fraction(bh2, nosleep, 0.0, bh2.duration) / runs;
-      peak_gw += bh2.online_gateways.mean(11 * 3600.0, 19 * 3600.0) / runs;
-      returns += static_cast<double>(bh2.bh2_home_returns) / runs;
-      const auto v = online_time_variation(bh2, soi);
-      variation.insert(variation.end(), v.begin(), v.end());
+                                        60 + run);
+      return RunRow{savings_fraction(bh2, nosleep, 0.0, bh2.duration),
+                    bh2.online_gateways.mean(11 * 3600.0, 19 * 3600.0),
+                    static_cast<double>(bh2.bh2_home_returns),
+                    online_time_variation(bh2, soi)};
+    });
+    const double savings = bench::mean_over_runs(rows, [](const RunRow& r) { return r.savings; });
+    const double peak_gw = bench::mean_over_runs(rows, [](const RunRow& r) { return r.peak_gw; });
+    const double returns = bench::mean_over_runs(rows, [](const RunRow& r) { return r.returns; });
+    std::vector<double> variation;
+    for (const RunRow& row : rows) {
+      variation.insert(variation.end(), row.variation.begin(), row.variation.end());
     }
     const stats::EmpiricalCdf cdf(variation);
     table.add_row({std::to_string(backup) + (backup == 1 ? " (paper)" : ""),

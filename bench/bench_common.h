@@ -1,11 +1,18 @@
 // Shared helpers for the figure-regeneration benches: consistent headers,
-// paper-vs-measured rows, and environment-controlled run counts.
+// paper-vs-measured rows, environment-controlled run counts, and scenario
+// preset selection (--preset NAME / INSOMNIA_PRESET).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "core/experiments.h"
+#include "core/scenario_presets.h"
+#include "exec/thread_pool.h"
+#include "util/error.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -30,6 +37,74 @@ inline std::string pct(double fraction, int decimals = 1) {
 
 inline std::string num(double value, int decimals = 2) {
   return util::format_fixed(value, decimals);
+}
+
+/// Validates INSOMNIA_THREADS with the drivers' CLI error convention and
+/// returns the resolved worker count. Even drivers that never shard call
+/// this, so a typo'd value fails fast everywhere instead of being silently
+/// ignored by some binaries.
+inline int threads_from_env_or_exit() {
+  try {
+    return exec::default_thread_count();
+  } catch (const util::InvalidArgument& error) {
+    std::cerr << error.what() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Resolves the scenario every driver simulates: `--preset NAME` (or
+/// `--preset=NAME`) on the command line wins, then the INSOMNIA_PRESET
+/// environment variable, then the paper default. Prints which preset is in
+/// effect. Any other argument, an unknown preset name, or a malformed
+/// INSOMNIA_THREADS prints the problem and exits 1 — a typo must fail fast,
+/// not silently run a different experiment.
+inline core::ScenarioConfig scenario_from_args(int argc, char** argv) {
+  try {
+    const core::ScenarioPreset* selected = nullptr;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--preset") {
+        if (i + 1 >= argc) throw util::InvalidArgument("--preset needs a name");
+        selected = &core::find_scenario_preset(argv[i + 1]);
+        ++i;
+      } else if (util::starts_with(arg, "--preset=")) {
+        selected = &core::find_scenario_preset(arg.substr(9));
+      } else {
+        throw util::InvalidArgument("unknown argument \"" + arg +
+                                    "\"; usage: " + argv[0] + " [--preset NAME]");
+      }
+    }
+    threads_from_env_or_exit();
+    if (selected == nullptr) selected = &core::scenario_preset_from_env();
+    std::cout << "scenario preset: " << selected->name << " — " << selected->summary << "\n";
+    return selected->scenario;
+  } catch (const util::InvalidArgument& error) {
+    std::cerr << error.what() << "\n";
+    std::exit(1);
+  }
+}
+
+/// core::runs_from_env with the drivers' CLI error convention: a malformed
+/// INSOMNIA_RUNS prints the problem and exits 1 instead of terminating.
+inline int runs_from_env(int fallback) {
+  try {
+    return core::runs_from_env(fallback);
+  } catch (const util::InvalidArgument& error) {
+    std::cerr << error.what() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Averages one statistic over per-run sweep rows, folding in run-index
+/// order with the historical `total += x / runs` form — the accumulation
+/// sequence every abl sweep used serially, kept in one place so the
+/// bit-identity convention cannot drift between drivers.
+template <typename Row, typename Get>
+double mean_over_runs(const std::vector<Row>& rows, Get get) {
+  const int runs = static_cast<int>(rows.size());
+  double total = 0.0;
+  for (const Row& row : rows) total += get(row) / runs;
+  return total;
 }
 
 }  // namespace insomnia::bench

@@ -7,13 +7,14 @@
 #include "bench_common.h"
 #include "core/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Fig. 6", "energy savings vs no-sleep over the day");
 
   MainExperimentConfig config;
-  config.runs = runs_from_env(3);
+  config.scenario = bench::scenario_from_args(argc, argv);
+  config.runs = bench::runs_from_env(3);
   config.bins = 24;  // hourly resolution
   config.schemes = {SchemeKind::kSoi, SchemeKind::kSoiKSwitch, SchemeKind::kBh2KSwitch,
                     SchemeKind::kOptimal};

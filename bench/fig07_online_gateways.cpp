@@ -6,13 +6,14 @@
 #include "bench_common.h"
 #include "core/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Fig. 7", "number of online gateways over the day");
 
   MainExperimentConfig config;
-  config.runs = runs_from_env(3);
+  config.scenario = bench::scenario_from_args(argc, argv);
+  config.runs = bench::runs_from_env(3);
   config.bins = 24;
   config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch,
                     SchemeKind::kBh2NoBackupKSwitch, SchemeKind::kOptimal};

@@ -5,13 +5,14 @@
 #include "bench_common.h"
 #include "core/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Fig. 8", "ISP-side contribution to the total energy savings");
 
   MainExperimentConfig config;
-  config.runs = runs_from_env(3);
+  config.scenario = bench::scenario_from_args(argc, argv);
+  config.runs = bench::runs_from_env(3);
   config.bins = 24;
   config.schemes = {SchemeKind::kSoi, SchemeKind::kSoiKSwitch, SchemeKind::kBh2KSwitch,
                     SchemeKind::kOptimal};

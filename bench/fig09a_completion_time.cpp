@@ -7,13 +7,14 @@
 #include "core/experiments.h"
 #include "stats/cdf.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Fig. 9a", "CDF of flow completion-time increase vs no-sleep");
 
   MainExperimentConfig config;
-  config.runs = runs_from_env(3);
+  config.scenario = bench::scenario_from_args(argc, argv);
+  config.runs = bench::runs_from_env(3);
   config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch,
                     SchemeKind::kBh2NoBackupKSwitch};
   std::cout << "(" << config.runs << " paired runs)\n\n";

@@ -7,13 +7,13 @@
 #include "bench_common.h"
 #include "core/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Fig. 10", "impact of gateway density on aggregation");
 
-  ScenarioConfig scenario;
-  const int runs = runs_from_env(2);
+  const ScenarioConfig scenario = bench::scenario_from_args(argc, argv);
+  const int runs = bench::runs_from_env(2);
   std::cout << "(" << runs << " runs per density level)\n\n";
   const std::vector<double> densities{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
   const auto points = run_density_sweep(scenario, densities, runs, 2026);

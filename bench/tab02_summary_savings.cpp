@@ -7,13 +7,14 @@
 #include "core/experiments.h"
 #include "core/extrapolation.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
   bench::banner("Summary (§5.4)", "headline savings and world-wide extrapolation");
 
   MainExperimentConfig config;
-  config.runs = runs_from_env(3);
+  config.scenario = bench::scenario_from_args(argc, argv);
+  config.runs = bench::runs_from_env(3);
   config.schemes = {SchemeKind::kBh2KSwitch, SchemeKind::kOptimal};
   std::cout << "(" << config.runs << " paired runs)\n\n";
   const MainExperimentResult result = run_main_experiment(config);

@@ -3,6 +3,12 @@
 # This is the repo's tier-1 check; run it before every PR.
 #
 # Usage: scripts/check.sh [build-dir]    (default: build)
+#
+# INSOMNIA_THREADS passes through to the experiment engine and is safe to
+# set: sweep results are bit-identical for any thread count (asserted by
+# test_exec_determinism), so the suite's outcome cannot depend on it.
+# INSOMNIA_PRESET does NOT affect this check — tests pin their own
+# scenarios; presets only steer the bench/ drivers.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)

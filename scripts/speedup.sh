@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Measures the parallel experiment engine's wall-clock scaling: runs the
+# Fig. 6 main experiment serially (INSOMNIA_THREADS=1) and with N threads,
+# then prints the speedup. Results are bit-identical by construction (see
+# tests/test_exec_determinism.cpp); this script checks the other half of the
+# contract — that wall-clock actually scales with cores.
+#
+# Usage: scripts/speedup.sh [build-dir] [threads]
+#   build-dir  default: build
+#   threads    default: nproc
+#   SPEEDUP_MIN  when set (e.g. 3.0), exit nonzero below that speedup.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+threads=${2:-$(nproc 2>/dev/null || echo 4)}
+driver="$build_dir/fig06_energy_savings"
+
+[ -x "$driver" ] || { echo "error: $driver not built (run scripts/check.sh first)" >&2; exit 2; }
+
+runs=${INSOMNIA_RUNS:-8}
+
+# GNU date has nanosecond %N; BSD/macOS date prints a literal "N" — fall
+# back to second granularity there (still fine for multi-second runs).
+if [ "$(date +%N)" != "N" ] 2>/dev/null; then
+  now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+else
+  now_ms() { echo $(( $(date +%s) * 1000 )); }
+fi
+
+elapsed_ms() {
+  start=$(now_ms)
+  INSOMNIA_RUNS="$runs" INSOMNIA_THREADS="$1" "$driver" > /dev/null
+  end=$(now_ms)
+  ms=$(( end - start ))
+  [ "$ms" -ge 1 ] || ms=1   # guard the ratio against sub-resolution runs
+  echo "$ms"
+}
+
+echo "fig06_energy_savings, $runs paired runs"
+serial_ms=$(elapsed_ms 1)
+echo "  1 thread : ${serial_ms} ms"
+parallel_ms=$(elapsed_ms "$threads")
+echo "  $threads threads: ${parallel_ms} ms"
+
+speedup=$(awk "BEGIN { printf \"%.2f\", $serial_ms / $parallel_ms }")
+echo "  speedup  : ${speedup}x"
+
+if [ -n "${SPEEDUP_MIN:-}" ]; then
+  awk "BEGIN { exit !($speedup >= $SPEEDUP_MIN) }" || {
+    echo "error: speedup ${speedup}x below required ${SPEEDUP_MIN}x" >&2
+    exit 1
+  }
+fi

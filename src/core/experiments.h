@@ -20,6 +20,9 @@ struct MainExperimentConfig {
   std::size_t bins = 96;            ///< day-series resolution (15 min)
   double peak_start = 11.0 * 3600;  ///< §5.2.5 peak window 11:00-19:00
   double peak_end = 19.0 * 3600;
+  /// Worker threads for sharding the paired days; 0 = auto (INSOMNIA_THREADS
+  /// or the hardware concurrency). Results are bit-identical for any value.
+  int threads = 0;
 };
 
 /// Aggregated outcome of one scheme across all runs.
@@ -67,13 +70,17 @@ struct DensityPoint {
 };
 
 /// Fig. 10: BH2's aggregation vs wireless density. Each density level uses
-/// fresh binomial connectivity matrices per run.
+/// fresh binomial connectivity matrices per run. All (level, run) cells are
+/// independent and sharded over `threads` workers (0 = auto); results are
+/// bit-identical for any thread count.
 std::vector<DensityPoint> run_density_sweep(const ScenarioConfig& scenario,
                                             const std::vector<double>& mean_gateways,
-                                            int runs, std::uint64_t seed);
+                                            int runs, std::uint64_t seed, int threads = 0);
 
 /// Reads the per-experiment run count from the INSOMNIA_RUNS environment
-/// variable, defaulting to `fallback` (lets CI trade fidelity for time).
+/// variable, defaulting to `fallback` when unset (lets CI trade fidelity for
+/// time). Non-numeric, zero, or negative values throw util::InvalidArgument:
+/// a typo'd override must not silently run the wrong experiment.
 int runs_from_env(int fallback);
 
 }  // namespace insomnia::core

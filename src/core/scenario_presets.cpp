@@ -1,0 +1,94 @@
+#include "core/scenario_presets.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace insomnia::core {
+
+namespace {
+
+ScenarioConfig paper_default() { return ScenarioConfig{}; }
+
+/// A dense urban block on VDSL2-style short loops: more households per
+/// neighbourhood, a high-port-count DSLAM (8 cards x 9 ports), faster
+/// backhaul, and a crowded wireless overlap graph. Stresses aggregation:
+/// many candidate hubs, high contention for them.
+ScenarioConfig dense_urban() {
+  ScenarioConfig s;
+  s.client_count = 512;
+  s.gateway_count = 72;
+  s.degrees.node_count = 72;
+  s.degrees.mean_degree = 8.0;
+  s.traffic.client_count = 512;
+  s.backhaul_bps = util::mbps(25.0);  // VDSL2-class downstream average
+  s.home_wireless_bps = util::mbps(24.0);
+  s.remote_wireless_bps = util::mbps(12.0);
+  s.dslam.line_cards = 8;  // 72 ports; switch_size 4 divides the card count
+  s.dslam.ports_per_card = 9;
+  return s;
+}
+
+/// A sparse rural stretch: few, far-apart gateways on long attenuated loops
+/// (slow backhaul, 2-minute resyncs) with a barely-connected overlap graph.
+/// The worst case for BH2's guest-hosting idea — little overlap to exploit.
+ScenarioConfig sparse_rural() {
+  ScenarioConfig s;
+  s.client_count = 96;
+  s.gateway_count = 24;
+  s.degrees.node_count = 24;
+  s.degrees.mean_degree = 2.2;
+  s.traffic.client_count = 96;
+  s.backhaul_bps = util::mbps(2.0);
+  s.home_wireless_bps = util::mbps(6.0);
+  s.remote_wireless_bps = util::mbps(3.0);
+  s.wake_time = 120.0;  // long-loop ADSL resync
+  s.dslam.line_cards = 2;
+  s.dslam.ports_per_card = 12;
+  s.dslam.switch_size = 2;
+  return s;
+}
+
+/// The §5.3 testbed regime on the simulator: every gateway starts powered
+/// (as a mid-afternoon deployment would) and has to be put to sleep, instead
+/// of the §5.2 cold start where sleep is the initial state. Isolates how
+/// much of the savings depends on the optimistic all-asleep start.
+ScenarioConfig warm_start_testbed() {
+  ScenarioConfig s;
+  s.start_awake = true;
+  return s;
+}
+
+}  // namespace
+
+const std::vector<ScenarioPreset>& scenario_presets() {
+  static const std::vector<ScenarioPreset> presets{
+      {"paper-default", "the §5.1 ADSL neighbourhood (272 clients, 40 gateways)",
+       paper_default()},
+      {"dense-urban", "VDSL2-style dense block (512 clients, 72 gateways, 8x9 DSLAM)",
+       dense_urban()},
+      {"sparse-rural", "sparse low-degree stretch (96 clients, 24 gateways, slow loops)",
+       sparse_rural()},
+      {"warm-start-testbed", "§5.3 regime: day starts with every gateway powered",
+       warm_start_testbed()},
+  };
+  return presets;
+}
+
+const ScenarioPreset& find_scenario_preset(const std::string& name) {
+  std::vector<std::string> names;
+  for (const ScenarioPreset& preset : scenario_presets()) {
+    if (preset.name == name) return preset;
+    names.push_back(preset.name);
+  }
+  throw util::InvalidArgument("unknown scenario preset \"" + name + "\"; valid presets: " +
+                              util::join(names, ", "));
+}
+
+const ScenarioPreset& scenario_preset_from_env() {
+  const char* env = std::getenv("INSOMNIA_PRESET");
+  return find_scenario_preset(env == nullptr ? "paper-default" : env);
+}
+
+}  // namespace insomnia::core

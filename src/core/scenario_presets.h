@@ -1,0 +1,34 @@
+// Named neighbourhood scenarios. The paper's evaluation (§5.1) fixes one
+// ADSL neighbourhood; related deployments (GATE's heterogeneous edges, PON
+// split studies) show the same sleep-mode ideas matter across very different
+// access plants. The registry makes whole scenario families selectable by
+// name — from any driver via --preset/INSOMNIA_PRESET — without per-driver
+// plumbing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace insomnia::core {
+
+/// One named, ready-to-run neighbourhood scenario.
+struct ScenarioPreset {
+  std::string name;      ///< selection token (kebab-case, CLI/env friendly)
+  std::string summary;   ///< one-line description for banners and --help
+  ScenarioConfig scenario;
+};
+
+/// All built-in presets, paper default first. Stable order and names.
+const std::vector<ScenarioPreset>& scenario_presets();
+
+/// Looks a preset up by name; throws util::InvalidArgument listing the valid
+/// names when `name` is unknown.
+const ScenarioPreset& find_scenario_preset(const std::string& name);
+
+/// Name of the preset selected by the INSOMNIA_PRESET environment variable,
+/// or "paper-default" when unset. Throws on unknown names.
+const ScenarioPreset& scenario_preset_from_env();
+
+}  // namespace insomnia::core

@@ -1,0 +1,10 @@
+#include "exec/sweep_runner.h"
+
+namespace insomnia::exec {
+
+SweepRunner::SweepRunner(int threads)
+    : threads_(threads <= 0 ? default_thread_count() : threads) {
+  if (threads_ > 1) pool_.emplace(threads_);
+}
+
+}  // namespace insomnia::exec

@@ -1,0 +1,85 @@
+// Deterministic sharding of embarrassingly parallel experiment work. A sweep
+// is `count` independent shards indexed 0..count-1; SweepRunner evaluates a
+// function over every index on a fixed-size thread pool and returns the
+// results ordered by index. Because shards must derive any randomness from
+// their index (sim::Random::fork(index) / substream_seed), the result vector
+// is bit-identical no matter how many threads ran it — callers then fold the
+// per-shard results serially, in index order, so even floating-point
+// accumulation matches the single-threaded path exactly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace insomnia::exec {
+
+/// Runs families of independent shards over a reusable thread pool.
+class SweepRunner {
+ public:
+  /// `threads` <= 0 selects default_thread_count() (INSOMNIA_THREADS or the
+  /// hardware concurrency). With one thread no pool is spun up at all: run()
+  /// executes inline, which doubles as the serial reference path.
+  explicit SweepRunner(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  /// Evaluates shard(i) for every i in [0, count) and returns the results
+  /// indexed by i. Shards run concurrently in unspecified order; the output
+  /// order is always by index. If any shard throws, the exception from the
+  /// lowest-indexed failing shard is rethrown after all shards finish (the
+  /// serial path would have surfaced that one first).
+  template <typename Fn>
+  auto run(std::size_t count, Fn&& shard)
+      -> std::vector<decltype(shard(std::size_t{0}))> {
+    using Result = decltype(shard(std::size_t{0}));
+    if (threads_ <= 1 || count <= 1) {
+      std::vector<Result> results;
+      results.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) results.push_back(shard(i));
+      return results;
+    }
+
+    std::vector<std::optional<Result>> slots(count);
+    std::vector<std::exception_ptr> errors(count);
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = count;
+
+    for (std::size_t i = 0; i < count; ++i) {
+      pool_->submit([&, i] {
+        try {
+          slots[i].emplace(shard(i));
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(done_mutex);
+        if (--remaining == 0) done_cv.notify_all();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(done_mutex);
+      done_cv.wait(lock, [&] { return remaining == 0; });
+    }
+
+    for (std::size_t i = 0; i < count; ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+    std::vector<Result> results;
+    results.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) results.push_back(std::move(*slots[i]));
+    return results;
+  }
+
+ private:
+  int threads_;
+  std::optional<ThreadPool> pool_;  // engaged only when threads_ > 1
+};
+
+}  // namespace insomnia::exec

@@ -1,0 +1,65 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace insomnia::exec {
+
+ThreadPool::ThreadPool(int thread_count) {
+  util::require(thread_count >= 1, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(thread_count));
+  for (int i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    util::require_state(!stopping_, "submit on a stopping thread pool");
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int threads_from_env(int fallback) {
+  const char* env = std::getenv("INSOMNIA_THREADS");
+  if (env == nullptr) return fallback;
+  const auto parsed = util::parse_positive_int(env);
+  util::require(parsed.has_value(),
+                "INSOMNIA_THREADS must be a positive integer, got \"" + std::string(env) + "\"");
+  return *parsed;
+}
+
+int default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return threads_from_env(hw > 0 ? static_cast<int>(hw) : 1);
+}
+
+}  // namespace insomnia::exec

@@ -1,0 +1,58 @@
+// A fixed-size worker pool with a plain FIFO task queue. The execution layer
+// for sharded experiments: SweepRunner submits one task per shard and the
+// pool drains them on however many threads the host grants.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace insomnia::exec {
+
+/// Fixed-size thread pool. Threads are spawned in the constructor and joined
+/// in the destructor; tasks submitted after that drain before destruction
+/// completes. Tasks must not throw (SweepRunner wraps user work and captures
+/// exceptions per shard); a task that does throw terminates the process.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (at least 1).
+  explicit ThreadPool(int thread_count);
+
+  /// Joins all workers after the queue drains. Blocks until running tasks
+  /// finish; queued-but-unstarted tasks still execute first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task for execution on some worker, FIFO order.
+  void submit(std::function<void()> task);
+
+  /// Number of worker threads.
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+/// Reads the worker count from the INSOMNIA_THREADS environment variable.
+/// Unset returns `fallback`; non-numeric, zero, or negative values throw
+/// util::InvalidArgument (misconfigured parallelism should fail loudly, not
+/// silently serialize a week-long sweep).
+int threads_from_env(int fallback);
+
+/// The default worker count for experiment sharding: INSOMNIA_THREADS when
+/// set, otherwise the hardware concurrency (at least 1).
+int default_thread_count();
+
+}  // namespace insomnia::exec

@@ -85,11 +85,27 @@ std::size_t Random::weighted_index(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+std::uint64_t Random::substream_seed(std::uint64_t seed, std::uint64_t stream,
+                                     std::uint64_t salt) {
+  // The +1 offsets keep (stream, salt) = (0, 0) from collapsing to the bare
+  // seed; the finalizer is splitmix64's, so adjacent indices land far apart.
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (stream + 1) +
+                    0xbf58476d1ce4e5b9ULL * (salt + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
 Random Random::fork() {
   // Draw two words to decorrelate the child stream from subsequent parent use.
   const std::uint64_t a = engine_();
   const std::uint64_t b = engine_();
   return Random(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+Random Random::fork(std::uint64_t stream, std::uint64_t salt) const {
+  return Random(substream_seed(seed_, stream, salt));
 }
 
 }  // namespace insomnia::sim

@@ -18,7 +18,19 @@ namespace insomnia::sim {
 class Random {
  public:
   /// Constructs a generator from a 64-bit seed.
-  explicit Random(std::uint64_t seed) : engine_(seed) {}
+  explicit Random(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// The seed this generator was constructed from. Keyed forks derive from
+  /// it, so substreams are a function of (seed, key) alone — never of how
+  /// many values the parent has drawn.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Mixes (seed, stream, salt) into an independent substream seed with a
+  /// splitmix64-style finalizer. Pure function of its inputs: two call sites
+  /// computing the same key get the same seed regardless of execution order,
+  /// which is what makes sharded parallel experiments bit-reproducible.
+  static std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t stream,
+                                      std::uint64_t salt = 0);
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -62,14 +74,24 @@ class Random {
     }
   }
 
-  /// Derives an independent child generator (for per-run streams).
+  /// Derives an independent child generator (for per-run streams). Consumes
+  /// parent state: the child depends on how much the parent has drawn. Use
+  /// the keyed overload when substreams must be order-independent.
   Random fork();
+
+  /// Derives an independent child keyed by (stream, salt), from the
+  /// *construction* seed only. Const and order-independent: fork(3) returns
+  /// the same generator whether called before or after any other draws or
+  /// forks, so each (scheme, run, point) of a sharded sweep can claim a
+  /// stable substream by index.
+  Random fork(std::uint64_t stream, std::uint64_t salt = 0) const;
 
   /// Access to the raw engine, for std distributions not wrapped here.
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  std::uint64_t seed_;
 };
 
 }  // namespace insomnia::sim

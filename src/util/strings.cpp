@@ -1,6 +1,9 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace insomnia::util {
@@ -43,6 +46,22 @@ std::string format_percent(double fraction, int decimals) {
 
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<int> parse_positive_int(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return std::nullopt;
+  // std::from_chars would be the natural fit but misses some toolchains;
+  // strtol on a bounded copy with full-consumption + range checks is enough.
+  const std::string copy(trimmed);
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(copy.c_str(), &end, 10);
+  if (end != copy.c_str() + copy.size()) return std::nullopt;
+  if (errno == ERANGE || value < 1 || value > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
 }
 
 std::string join(const std::vector<std::string>& parts, std::string_view separator) {

@@ -1,6 +1,7 @@
 // Small string utilities shared by the CSV reader and report printers.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,5 +25,10 @@ bool starts_with(std::string_view text, std::string_view prefix);
 
 /// Joins `parts` with `separator`.
 std::string join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Parses `text` (after trimming) as a strictly positive base-10 int.
+/// Returns nullopt on empty input, trailing junk, overflow, zero, or
+/// negative values — the environment-knob parsers reject all of those.
+std::optional<int> parse_positive_int(std::string_view text);
 
 }  // namespace insomnia::util

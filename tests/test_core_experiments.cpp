@@ -142,15 +142,26 @@ TEST(Testbed, Bh2SleepsMoreApsThanSoi) {
   }
 }
 
-TEST(RunsFromEnv, ParsesAndFallsBack) {
+TEST(RunsFromEnv, ParsesValidValuesAndFallsBackWhenUnset) {
   ::unsetenv("INSOMNIA_RUNS");
   EXPECT_EQ(runs_from_env(5), 5);
   ::setenv("INSOMNIA_RUNS", "7", 1);
   EXPECT_EQ(runs_from_env(5), 7);
-  ::setenv("INSOMNIA_RUNS", "junk", 1);
-  EXPECT_EQ(runs_from_env(5), 5);
-  ::setenv("INSOMNIA_RUNS", "0", 1);
-  EXPECT_EQ(runs_from_env(5), 5);
+  ::setenv("INSOMNIA_RUNS", "1", 1);
+  EXPECT_EQ(runs_from_env(5), 1);
+  ::setenv("INSOMNIA_RUNS", " 12 ", 1);  // stray whitespace is harmless
+  EXPECT_EQ(runs_from_env(5), 12);
+  ::unsetenv("INSOMNIA_RUNS");
+}
+
+TEST(RunsFromEnv, RejectsInvalidValuesLoudly) {
+  // A typo'd override must not silently run a different experiment than the
+  // operator asked for — every malformed value is a hard error.
+  for (const char* bad : {"junk", "0", "-3", "", "  ", "3.5", "7x", "0x7",
+                          "99999999999999999999"}) {
+    ::setenv("INSOMNIA_RUNS", bad, 1);
+    EXPECT_THROW(runs_from_env(5), util::InvalidArgument) << "value: \"" << bad << "\"";
+  }
   ::unsetenv("INSOMNIA_RUNS");
 }
 

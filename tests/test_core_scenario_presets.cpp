@@ -1,0 +1,91 @@
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/scenario_presets.h"
+#include "util/error.h"
+
+namespace insomnia::core {
+namespace {
+
+TEST(ScenarioPresets, RegistryHasTheFourFamiliesPaperFirst) {
+  const auto& presets = scenario_presets();
+  ASSERT_EQ(presets.size(), 4u);
+  EXPECT_EQ(presets[0].name, "paper-default");
+  std::set<std::string> names;
+  for (const auto& preset : presets) {
+    EXPECT_FALSE(preset.summary.empty()) << preset.name;
+    names.insert(preset.name);
+  }
+  EXPECT_EQ(names.size(), presets.size()) << "names must be unique";
+  EXPECT_TRUE(names.count("dense-urban"));
+  EXPECT_TRUE(names.count("sparse-rural"));
+  EXPECT_TRUE(names.count("warm-start-testbed"));
+}
+
+TEST(ScenarioPresets, EveryPresetIsInternallyConsistent) {
+  for (const auto& preset : scenario_presets()) {
+    const ScenarioConfig& s = preset.scenario;
+    EXPECT_EQ(s.traffic.client_count, s.client_count) << preset.name;
+    EXPECT_EQ(s.degrees.node_count, s.gateway_count) << preset.name;
+    EXPECT_EQ(s.traffic.duration, s.duration) << preset.name;
+    EXPECT_GE(s.dslam_ports(), s.gateway_count) << preset.name;
+    EXPECT_EQ(s.dslam.line_cards % s.dslam.switch_size, 0)
+        << preset.name << ": switch size must divide the card count";
+    EXPECT_GT(s.backhaul_bps, 0.0) << preset.name;
+    EXPECT_GE(s.home_wireless_bps, s.remote_wireless_bps) << preset.name;
+    EXPECT_GT(s.degrees.mean_degree, 0.0) << preset.name;
+    EXPECT_LT(s.degrees.mean_degree, s.degrees.node_count) << preset.name;
+  }
+}
+
+TEST(ScenarioPresets, PaperDefaultMatchesScenarioConfigDefaults) {
+  const ScenarioConfig paper = find_scenario_preset("paper-default").scenario;
+  const ScenarioConfig defaults;
+  EXPECT_EQ(paper.client_count, defaults.client_count);
+  EXPECT_EQ(paper.gateway_count, defaults.gateway_count);
+  EXPECT_EQ(paper.backhaul_bps, defaults.backhaul_bps);
+  EXPECT_EQ(paper.wake_time, defaults.wake_time);
+  EXPECT_EQ(paper.start_awake, defaults.start_awake);
+  EXPECT_EQ(paper.dslam.line_cards, defaults.dslam.line_cards);
+}
+
+TEST(ScenarioPresets, PresetsActuallyDiffer) {
+  const ScenarioConfig urban = find_scenario_preset("dense-urban").scenario;
+  const ScenarioConfig rural = find_scenario_preset("sparse-rural").scenario;
+  const ScenarioConfig warm = find_scenario_preset("warm-start-testbed").scenario;
+  const ScenarioConfig paper = find_scenario_preset("paper-default").scenario;
+  EXPECT_GT(urban.client_count, paper.client_count);
+  EXPECT_GT(urban.backhaul_bps, paper.backhaul_bps);
+  EXPECT_LT(rural.client_count, paper.client_count);
+  EXPECT_LT(rural.degrees.mean_degree, paper.degrees.mean_degree);
+  EXPECT_TRUE(warm.start_awake);
+  EXPECT_FALSE(paper.start_awake);
+}
+
+TEST(ScenarioPresets, UnknownNameThrowsListingValidNames) {
+  try {
+    find_scenario_preset("nope");
+    FAIL() << "expected InvalidArgument";
+  } catch (const util::InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("nope"), std::string::npos);
+    EXPECT_NE(what.find("paper-default"), std::string::npos);
+    EXPECT_NE(what.find("dense-urban"), std::string::npos);
+  }
+}
+
+TEST(ScenarioPresets, EnvSelectionDefaultsAndOverrides) {
+  ::unsetenv("INSOMNIA_PRESET");
+  EXPECT_EQ(scenario_preset_from_env().name, "paper-default");
+  ::setenv("INSOMNIA_PRESET", "sparse-rural", 1);
+  EXPECT_EQ(scenario_preset_from_env().name, "sparse-rural");
+  ::setenv("INSOMNIA_PRESET", "bogus", 1);
+  EXPECT_THROW(scenario_preset_from_env(), util::InvalidArgument);
+  ::unsetenv("INSOMNIA_PRESET");
+}
+
+}  // namespace
+}  // namespace insomnia::core

@@ -1,0 +1,97 @@
+// The load-bearing guarantee of src/exec: sharding an experiment over any
+// number of threads yields bit-identical results to the serial path. Every
+// comparison here is exact (EXPECT_EQ on doubles), not approximate.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+
+namespace insomnia::core {
+namespace {
+
+MainExperimentConfig small_config(int threads) {
+  MainExperimentConfig config;
+  config.scenario.client_count = 48;
+  config.scenario.gateway_count = 8;
+  config.scenario.degrees.node_count = 8;
+  config.scenario.degrees.mean_degree = 4.0;
+  config.scenario.traffic.client_count = 48;
+  config.scenario.dslam.line_cards = 4;
+  config.scenario.dslam.ports_per_card = 2;
+  config.runs = 4;  // more runs than some thread counts, fewer than others
+  config.bins = 12;
+  config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch};
+  config.threads = threads;
+  return config;
+}
+
+void expect_identical(const std::vector<double>& a, const std::vector<double>& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << what << "[" << i << "]";
+  }
+}
+
+void expect_identical(const SchemeOutcome& a, const SchemeOutcome& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  expect_identical(a.savings, b.savings, "savings");
+  expect_identical(a.isp_share, b.isp_share, "isp_share");
+  expect_identical(a.online_gateways, b.online_gateways, "online_gateways");
+  expect_identical(a.online_cards, b.online_cards, "online_cards");
+  EXPECT_EQ(a.day_savings, b.day_savings);
+  EXPECT_EQ(a.day_isp_share, b.day_isp_share);
+  EXPECT_EQ(a.peak_online_gateways, b.peak_online_gateways);
+  EXPECT_EQ(a.peak_online_cards, b.peak_online_cards);
+  expect_identical(a.fct_increase, b.fct_increase, "fct_increase");
+  expect_identical(a.online_time_variation, b.online_time_variation, "online_time_variation");
+  EXPECT_EQ(a.wake_events, b.wake_events);
+  EXPECT_EQ(a.bh2_moves, b.bh2_moves);
+  EXPECT_EQ(a.bh2_home_returns, b.bh2_home_returns);
+}
+
+TEST(ExecDeterminism, MainExperimentIsBitIdenticalAcrossThreadCounts) {
+  const MainExperimentResult serial = run_main_experiment(small_config(1));
+  for (int threads : {2, 3, 8}) {
+    const MainExperimentResult sharded = run_main_experiment(small_config(threads));
+    ASSERT_EQ(serial.schemes.size(), sharded.schemes.size()) << threads << " threads";
+    for (std::size_t s = 0; s < serial.schemes.size(); ++s) {
+      expect_identical(serial.schemes[s], sharded.schemes[s]);
+    }
+  }
+}
+
+TEST(ExecDeterminism, MainExperimentIsStableAcrossRepeats) {
+  const MainExperimentResult a = run_main_experiment(small_config(4));
+  const MainExperimentResult b = run_main_experiment(small_config(4));
+  ASSERT_EQ(a.schemes.size(), b.schemes.size());
+  for (std::size_t s = 0; s < a.schemes.size(); ++s) {
+    expect_identical(a.schemes[s], b.schemes[s]);
+  }
+}
+
+TEST(ExecDeterminism, DensitySweepIsBitIdenticalAcrossThreadCounts) {
+  ScenarioConfig scenario;
+  scenario.client_count = 48;
+  scenario.gateway_count = 8;
+  scenario.degrees.node_count = 8;
+  scenario.traffic.client_count = 48;
+  scenario.dslam.line_cards = 4;
+  scenario.dslam.ports_per_card = 2;
+  const std::vector<double> densities{1.0, 4.0, 8.0};
+
+  const auto serial = run_density_sweep(scenario, densities, 2, 77, 1);
+  for (int threads : {2, 6}) {
+    const auto sharded = run_density_sweep(scenario, densities, 2, 77, threads);
+    ASSERT_EQ(serial.size(), sharded.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].mean_available_gateways, sharded[i].mean_available_gateways);
+      EXPECT_EQ(serial[i].mean_online_gateways, sharded[i].mean_online_gateways);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace insomnia::core

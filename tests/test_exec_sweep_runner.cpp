@@ -1,0 +1,122 @@
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/sweep_runner.h"
+#include "sim/random.h"
+
+namespace insomnia::exec {
+namespace {
+
+TEST(SweepRunner, ResultsAreOrderedByIndexNotCompletionOrder) {
+  SweepRunner runner(4);
+  // Make low indices slow so completion order inverts submission order.
+  const auto results = runner.run(32, [](std::size_t i) {
+    volatile double sink = 0.0;
+    const int spin = static_cast<int>((32 - i) * 10000);
+    for (int k = 0; k < spin; ++k) sink = sink + 1.0;
+    return i * i;
+  });
+  ASSERT_EQ(results.size(), 32u);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(SweepRunner, SerialAndParallelAgree) {
+  auto shard = [](std::size_t i) {
+    sim::Random rng(sim::Random::substream_seed(99, i));
+    double total = 0.0;
+    for (int k = 0; k < 50; ++k) total += rng.uniform(0.0, 1.0);
+    return total;
+  };
+  SweepRunner serial(1);
+  SweepRunner parallel(8);
+  const auto a = serial.run(40, shard);
+  const auto b = parallel.run(40, shard);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "shard " << i;  // bit-identical, not just close
+  }
+}
+
+TEST(SweepRunner, OneThreadRunsInline) {
+  SweepRunner runner(1);
+  EXPECT_EQ(runner.threads(), 1);
+  const std::thread::id main_id = std::this_thread::get_id();
+  const auto ids = runner.run(4, [&](std::size_t) { return std::this_thread::get_id(); });
+  for (const auto& id : ids) EXPECT_EQ(id, main_id);
+}
+
+TEST(SweepRunner, SingleShardRunsInlineEvenWithManyThreads) {
+  SweepRunner runner(8);
+  const auto ids = runner.run(1, [](std::size_t) { return std::this_thread::get_id(); });
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], std::this_thread::get_id());
+}
+
+TEST(SweepRunner, EmptySweepReturnsEmpty) {
+  SweepRunner runner(4);
+  EXPECT_TRUE(runner.run(0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(SweepRunner, MoreThreadsThanShardsIsFine) {
+  SweepRunner runner(16);
+  const auto results = runner.run(3, [](std::size_t i) { return i + 1; });
+  EXPECT_EQ(results, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(SweepRunner, RethrowsLowestIndexedFailure) {
+  SweepRunner runner(4);
+  try {
+    runner.run(16, [](std::size_t i) -> int {
+      if (i == 11) throw std::runtime_error("shard 11");
+      if (i == 3) throw std::runtime_error("shard 3");
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    // The serial path would have hit shard 3 first; parallel must match.
+    EXPECT_STREQ(error.what(), "shard 3");
+  }
+}
+
+TEST(SweepRunner, AllShardsStillRunWhenOneThrows) {
+  SweepRunner runner(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(runner.run(20,
+                          [&](std::size_t i) -> int {
+                            ran.fetch_add(1);
+                            if (i == 0) throw std::runtime_error("boom");
+                            return 0;
+                          }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(SweepRunner, ReusableAcrossRuns) {
+  SweepRunner runner(4);
+  for (int round = 0; round < 5; ++round) {
+    const auto results = runner.run(10, [&](std::size_t i) {
+      return static_cast<int>(i) + round;
+    });
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], static_cast<int>(i) + round);
+    }
+  }
+}
+
+TEST(SweepRunner, AutoThreadsResolvesToAtLeastOne) {
+  SweepRunner runner(0);
+  EXPECT_GE(runner.threads(), 1);
+  const auto results = runner.run(8, [](std::size_t i) { return i; });
+  const std::size_t sum = std::accumulate(results.begin(), results.end(), std::size_t{0});
+  EXPECT_EQ(sum, 28u);
+}
+
+}  // namespace
+}  // namespace insomnia::exec

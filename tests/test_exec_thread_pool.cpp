@@ -1,0 +1,92 @@
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.h"
+#include "util/error.h"
+
+namespace insomnia::exec {
+namespace {
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ReportsItsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), util::InvalidArgument);
+  EXPECT_THROW(ThreadPool(-2), util::InvalidArgument);
+}
+
+TEST(ThreadPool, RunsTasksOnWorkerThreads) {
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::lock_guard<std::mutex> lock(mutex);
+        ids.insert(std::this_thread::get_id());
+      });
+    }
+  }
+  EXPECT_FALSE(ids.count(std::this_thread::get_id()));
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, DestructorWaitsForInFlightTasks) {
+  std::atomic<bool> finished{false};
+  {
+    ThreadPool pool(1);
+    pool.submit([&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      finished.store(true);
+    });
+  }
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(ThreadsFromEnv, FallsBackOnlyWhenUnset) {
+  ::unsetenv("INSOMNIA_THREADS");
+  EXPECT_EQ(threads_from_env(6), 6);
+  ::setenv("INSOMNIA_THREADS", "2", 1);
+  EXPECT_EQ(threads_from_env(6), 2);
+  ::unsetenv("INSOMNIA_THREADS");
+}
+
+TEST(ThreadsFromEnv, RejectsInvalidValues) {
+  for (const char* bad : {"0", "-1", "two", "", "1.5"}) {
+    ::setenv("INSOMNIA_THREADS", bad, 1);
+    EXPECT_THROW(threads_from_env(6), util::InvalidArgument) << "value: \"" << bad << "\"";
+  }
+  ::unsetenv("INSOMNIA_THREADS");
+}
+
+TEST(ThreadsFromEnv, DefaultThreadCountIsPositive) {
+  ::unsetenv("INSOMNIA_THREADS");
+  EXPECT_GE(default_thread_count(), 1);
+  ::setenv("INSOMNIA_THREADS", "5", 1);
+  EXPECT_EQ(default_thread_count(), 5);
+  ::unsetenv("INSOMNIA_THREADS");
+}
+
+}  // namespace
+}  // namespace insomnia::exec

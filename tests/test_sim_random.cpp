@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -150,6 +152,74 @@ TEST(Random, ShufflePreservesElements) {
   rng.shuffle(copy);
   std::sort(copy.begin(), copy.end());
   EXPECT_EQ(copy, items);
+}
+
+TEST(Random, SubstreamSeedIsAPureFunction) {
+  EXPECT_EQ(Random::substream_seed(42, 3, 5), Random::substream_seed(42, 3, 5));
+  // Distinct along every axis.
+  EXPECT_NE(Random::substream_seed(42, 3, 5), Random::substream_seed(43, 3, 5));
+  EXPECT_NE(Random::substream_seed(42, 3, 5), Random::substream_seed(42, 4, 5));
+  EXPECT_NE(Random::substream_seed(42, 3, 5), Random::substream_seed(42, 3, 6));
+}
+
+TEST(Random, SubstreamSeedHasNoAdjacentCollisions) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 64; ++stream) {
+    for (std::uint64_t salt = 0; salt < 64; ++salt) {
+      seen.insert(Random::substream_seed(1234, stream, salt));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+TEST(Random, KeyedForkIsOrderIndependent) {
+  // The substream keyed 7 must not depend on what else the parent did
+  // first — that is what makes parallel sweeps bit-reproducible.
+  Random fresh(55);
+  Random exercised(55);
+  for (int i = 0; i < 1000; ++i) exercised.uniform(0.0, 1.0);
+  Random drained = exercised.fork();  // unkeyed fork consumes state; still no effect
+  (void)drained;
+  Random a = fresh.fork(7);
+  Random b = exercised.fork(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Random, KeyedForksWithDifferentKeysDiverge) {
+  Random parent(55);
+  Random a = parent.fork(1);
+  Random b = parent.fork(2);
+  Random c = parent.fork(1, 9);
+  int same_ab = 0;
+  int same_ac = 0;
+  for (int i = 0; i < 100; ++i) {
+    const int va = a.uniform_int(0, 10000);
+    const int vb = b.uniform_int(0, 10000);
+    const int vc = c.uniform_int(0, 10000);
+    if (va == vb) ++same_ab;
+    if (va == vc) ++same_ac;
+  }
+  EXPECT_LT(same_ab, 5);
+  EXPECT_LT(same_ac, 5);
+}
+
+TEST(Random, KeyedForkDecorrelatesFromParent) {
+  Random parent(55);
+  Random child = parent.fork(0);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.uniform_int(0, 10000) == child.uniform_int(0, 10000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Random, SeedAccessorReturnsConstructionSeed) {
+  EXPECT_EQ(Random(99).seed(), 99u);
+  Random rng(7);
+  rng.uniform(0.0, 1.0);
+  EXPECT_EQ(rng.seed(), 7u);  // drawing does not change identity
 }
 
 TEST(Random, ForkDecorrelates) {
