@@ -52,16 +52,49 @@ inline int threads_from_env_or_exit() {
   }
 }
 
+/// Handles the flags every driver shares. Returns true when argv[i] (plus a
+/// possible value, past which `i` is advanced) was consumed:
+///   * `--threads N` / `--threads=N` — worker threads, parsed with
+///     util::parse_positive_int and exported as INSOMNIA_THREADS (overriding
+///     any inherited value) so it reaches exec::default_thread_count() in
+///     every layer without per-driver plumbing,
+///   * `--list-presets` — prints the scenario registry and exits 0.
+/// Malformed values throw util::InvalidArgument (callers print and exit 1).
+inline bool handle_common_flag(int argc, char** argv, int& i) {
+  const std::string arg = argv[i];
+  std::string threads_value;
+  if (arg == "--threads") {
+    if (i + 1 >= argc) throw util::InvalidArgument("--threads needs a count");
+    threads_value = argv[++i];
+  } else if (util::starts_with(arg, "--threads=")) {
+    threads_value = arg.substr(10);
+  } else if (arg == "--list-presets") {
+    for (const core::ScenarioPreset& preset : core::scenario_presets()) {
+      std::cout << preset.name << " — " << preset.summary << "\n";
+    }
+    std::exit(0);
+  } else {
+    return false;
+  }
+  const auto parsed = util::parse_positive_int(threads_value);
+  util::require(parsed.has_value(), "--threads must be a positive integer, got \"" +
+                                        threads_value + "\"");
+  setenv("INSOMNIA_THREADS", std::to_string(*parsed).c_str(), /*overwrite=*/1);
+  return true;
+}
+
 /// Resolves the scenario every driver simulates: `--preset NAME` (or
 /// `--preset=NAME`) on the command line wins, then the INSOMNIA_PRESET
 /// environment variable, then the paper default. Prints which preset is in
-/// effect. Any other argument, an unknown preset name, or a malformed
+/// effect. Also accepts the shared flags (`--threads N`, `--list-presets`).
+/// Any other argument, an unknown preset name, or a malformed
 /// INSOMNIA_THREADS prints the problem and exits 1 — a typo must fail fast,
 /// not silently run a different experiment.
 inline core::ScenarioConfig scenario_from_args(int argc, char** argv) {
   try {
     const core::ScenarioPreset* selected = nullptr;
     for (int i = 1; i < argc; ++i) {
+      if (handle_common_flag(argc, argv, i)) continue;
       const std::string arg = argv[i];
       if (arg == "--preset") {
         if (i + 1 >= argc) throw util::InvalidArgument("--preset needs a name");
@@ -70,8 +103,9 @@ inline core::ScenarioConfig scenario_from_args(int argc, char** argv) {
       } else if (util::starts_with(arg, "--preset=")) {
         selected = &core::find_scenario_preset(arg.substr(9));
       } else {
-        throw util::InvalidArgument("unknown argument \"" + arg +
-                                    "\"; usage: " + argv[0] + " [--preset NAME]");
+        throw util::InvalidArgument(
+            "unknown argument \"" + arg + "\"; usage: " + argv[0] +
+            " [--preset NAME] [--threads N] [--list-presets]");
       }
     }
     threads_from_env_or_exit();

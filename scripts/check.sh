@@ -18,3 +18,8 @@ jobs=$(nproc 2>/dev/null || echo 4)
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+# Small-N city fleet smoke: exercises the whole src/city stack (sampler ->
+# sharded paired days -> streamed aggregates -> simulation-grounded §5.4
+# extrapolation) end to end through the real CLI.
+"$build_dir/city01_fleet" --size 4 --seed 7 > /dev/null

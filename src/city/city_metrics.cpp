@@ -1,0 +1,98 @@
+#include "city/city_metrics.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.h"
+
+namespace insomnia::city {
+
+namespace {
+
+double fraction_or_zero(double part, double whole) {
+  return whole > 0.0 ? part / whole : 0.0;
+}
+
+}  // namespace
+
+double NeighbourhoodOutcome::savings_fraction() const {
+  const double base = baseline_user_energy + baseline_isp_energy;
+  const double mine = scheme_user_energy + scheme_isp_energy;
+  return base > 0.0 ? 1.0 - mine / base : 0.0;
+}
+
+double PresetAggregate::savings_fraction() const {
+  return baseline_watts > 0.0 ? 1.0 - scheme_watts / baseline_watts : 0.0;
+}
+
+CityMetrics::CityMetrics(std::vector<std::string> preset_names) {
+  per_preset_.reserve(preset_names.size());
+  for (std::string& name : preset_names) {
+    PresetAggregate aggregate;
+    aggregate.preset = std::move(name);
+    per_preset_.push_back(std::move(aggregate));
+  }
+}
+
+void CityMetrics::add(const NeighbourhoodOutcome& outcome) {
+  util::require(outcome.mix_index < per_preset_.size(),
+                "outcome mix_index out of range for this city");
+  util::require(outcome.duration > 0.0, "neighbourhood day must have positive length");
+
+  // Convert day energies to mean draws once, here, so every aggregate below
+  // is a plain sum of watts.
+  const double baseline_user = outcome.baseline_user_energy / outcome.duration;
+  const double baseline_isp = outcome.baseline_isp_energy / outcome.duration;
+  const double scheme_user = outcome.scheme_user_energy / outcome.duration;
+  const double scheme_isp = outcome.scheme_isp_energy / outcome.duration;
+  const double baseline = baseline_user + baseline_isp;
+  const double scheme = scheme_user + scheme_isp;
+
+  ++neighbourhoods_;
+  total_gateways_ += outcome.gateways;
+  total_clients_ += outcome.clients;
+  baseline_watts_ += baseline;
+  scheme_watts_ += scheme;
+  baseline_user_watts_ += baseline_user;
+  baseline_isp_watts_ += baseline_isp;
+  saved_user_watts_ += baseline_user - scheme_user;
+  saved_isp_watts_ += baseline_isp - scheme_isp;
+  peak_online_gateways_ += outcome.peak_online_gateways;
+  wake_events_ += outcome.wake_events;
+  savings_.add(outcome.savings_fraction());
+
+  PresetAggregate& slice = per_preset_[outcome.mix_index];
+  ++slice.neighbourhoods;
+  slice.gateways += outcome.gateways;
+  slice.clients += outcome.clients;
+  slice.baseline_watts += baseline;
+  slice.scheme_watts += scheme;
+  slice.savings.add(outcome.savings_fraction());
+}
+
+double CityMetrics::savings_fraction() const {
+  return baseline_watts_ > 0.0 ? 1.0 - scheme_watts_ / baseline_watts_ : 0.0;
+}
+
+double CityMetrics::isp_share_of_savings() const {
+  const double saved = saved_user_watts_ + saved_isp_watts_;
+  // Guard against a ~zero denominator (e.g. comparing no-sleep to itself):
+  // the share is undefined there, report 0 rather than noise.
+  if (saved <= baseline_watts_ * 1e-9) return 0.0;
+  return saved_isp_watts_ / saved;
+}
+
+double CityMetrics::baseline_household_watts_per_gateway() const {
+  return fraction_or_zero(baseline_user_watts_, static_cast<double>(total_gateways_));
+}
+
+double CityMetrics::baseline_isp_watts_per_gateway() const {
+  return fraction_or_zero(baseline_isp_watts_, static_cast<double>(total_gateways_));
+}
+
+double CityMetrics::savings_ci95_halfwidth() const {
+  if (savings_.count() < 2) return 0.0;
+  return 1.96 * savings_.stddev() / std::sqrt(static_cast<double>(savings_.count()));
+}
+
+}  // namespace insomnia::city

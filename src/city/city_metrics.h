@@ -1,0 +1,110 @@
+// Streaming aggregates over a fleet of simulated neighbourhoods. Each
+// neighbourhood contributes a handful of scalars (no day series), so the
+// city run stays in bounded memory no matter how many tens of thousands of
+// gateways the fleet holds. Folding is plain left-to-right addition: add()
+// called in neighbourhood-index order is exactly the serial accumulation,
+// which is what keeps CityRunner bit-identical across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace insomnia::city {
+
+/// Everything one simulated neighbourhood contributes to the aggregates.
+struct NeighbourhoodOutcome {
+  std::size_t mix_index = 0;  ///< which mix component it was drawn from
+  int gateways = 0;
+  int clients = 0;
+  double duration = 0.0;  ///< simulated day length, seconds
+
+  // Whole-day energy integrals (J), paired baseline vs scheme.
+  double baseline_user_energy = 0.0;
+  double baseline_isp_energy = 0.0;
+  double scheme_user_energy = 0.0;
+  double scheme_isp_energy = 0.0;
+
+  double peak_online_gateways = 0.0;  ///< mean over the city peak window
+  long wake_events = 0;
+
+  /// Fractional energy savings of the scheme vs the paired baseline.
+  double savings_fraction() const;
+};
+
+/// Per-mix-component slice of the fleet aggregates.
+struct PresetAggregate {
+  std::string preset;           ///< mix component's preset name
+  std::size_t neighbourhoods = 0;
+  long gateways = 0;
+  long clients = 0;
+  double baseline_watts = 0.0;  ///< summed mean draw of the slice
+  double scheme_watts = 0.0;
+  stats::RunningStats savings;  ///< per-neighbourhood savings fractions
+
+  /// Energy-weighted savings of the slice.
+  double savings_fraction() const;
+};
+
+/// The city-wide fold. Construct with the mix's preset names, then add()
+/// every NeighbourhoodOutcome in index order.
+class CityMetrics {
+ public:
+  explicit CityMetrics(std::vector<std::string> preset_names);
+
+  /// Folds one neighbourhood into the aggregates. `outcome.mix_index` must
+  /// address one of the constructor's preset names.
+  void add(const NeighbourhoodOutcome& outcome);
+
+  std::size_t neighbourhoods() const { return neighbourhoods_; }
+  long total_gateways() const { return total_gateways_; }
+  long total_clients() const { return total_clients_; }
+
+  /// Fleet-wide mean power draw (W): every neighbourhood's day energy over
+  /// its day length, summed. This is what the ISP's city meter would read.
+  double baseline_watts() const { return baseline_watts_; }
+  double scheme_watts() const { return scheme_watts_; }
+
+  /// Energy-weighted fractional savings of the whole fleet (0 when empty).
+  double savings_fraction() const;
+
+  /// Share of the saved energy on the ISP side, in [0,1]; 0 when the fleet
+  /// saved (essentially) nothing.
+  double isp_share_of_savings() const;
+
+  /// Baseline per-subscriber draws (W per gateway household), for grounding
+  /// the §5.4 world extrapolation in the simulated fleet.
+  double baseline_household_watts_per_gateway() const;
+  double baseline_isp_watts_per_gateway() const;
+
+  /// Unweighted across-neighbourhood savings distribution and its 95 %
+  /// normal-approximation confidence half-width (0 with < 2 neighbourhoods).
+  const stats::RunningStats& neighbourhood_savings() const { return savings_; }
+  double savings_ci95_halfwidth() const;
+
+  /// Fleet totals of the behaviour aggregates.
+  double peak_online_gateways() const { return peak_online_gateways_; }
+  long wake_events() const { return wake_events_; }
+
+  /// One slice per mix component, in mix order.
+  const std::vector<PresetAggregate>& per_preset() const { return per_preset_; }
+
+ private:
+  std::size_t neighbourhoods_ = 0;
+  long total_gateways_ = 0;
+  long total_clients_ = 0;
+  double baseline_watts_ = 0.0;
+  double scheme_watts_ = 0.0;
+  double baseline_user_watts_ = 0.0;
+  double baseline_isp_watts_ = 0.0;
+  double saved_user_watts_ = 0.0;
+  double saved_isp_watts_ = 0.0;
+  double peak_online_gateways_ = 0.0;
+  long wake_events_ = 0;
+  stats::RunningStats savings_;
+  std::vector<PresetAggregate> per_preset_;
+};
+
+}  // namespace insomnia::city

@@ -1,0 +1,88 @@
+#include "city/city_runner.h"
+
+#include "city/neighbourhood_sampler.h"
+#include "core/metrics.h"
+#include "core/schemes.h"
+#include "exec/sweep_runner.h"
+#include "sim/random.h"
+#include "topology/access_topology.h"
+#include "trace/synthetic_crawdad.h"
+
+namespace insomnia::city {
+
+namespace {
+
+// Substream salts claimed by the runner; the sampler owns salt 11.
+constexpr std::uint64_t kTopologySalt = 12;
+constexpr std::uint64_t kTraceSalt = 13;
+constexpr std::uint64_t kBaselineSalt = 14;
+constexpr std::uint64_t kSchemeSalt = 15;
+
+}  // namespace
+
+NeighbourhoodOutcome simulate_neighbourhood(const CityConfig& config,
+                                            const std::vector<core::ScenarioPreset>& presets,
+                                            std::size_t index) {
+  const NeighbourhoodSample sample = sample_neighbourhood(config, presets, index);
+  const core::ScenarioConfig& scenario = sample.scenario;
+
+  sim::Random topo_rng(sim::Random::substream_seed(config.seed, index, kTopologySalt));
+  const topo::AccessTopology topology =
+      topo::make_overlap_topology(scenario.client_count, scenario.degrees, topo_rng);
+
+  sim::Random trace_rng(sim::Random::substream_seed(config.seed, index, kTraceSalt));
+  const trace::FlowTrace flows =
+      trace::SyntheticCrawdadGenerator(scenario.traffic).generate(trace_rng);
+
+  // Paired days: same topology and trace under no-sleep and the scheme.
+  const core::RunMetrics baseline =
+      core::run_scheme(scenario, topology, flows, core::SchemeKind::kNoSleep,
+                       sim::Random::substream_seed(config.seed, index, kBaselineSalt));
+  const core::RunMetrics scheme =
+      core::run_scheme(scenario, topology, flows, config.scheme,
+                       sim::Random::substream_seed(config.seed, index, kSchemeSalt));
+
+  NeighbourhoodOutcome outcome;
+  outcome.mix_index = sample.mix_index;
+  outcome.gateways = scenario.gateway_count;
+  outcome.clients = scenario.client_count;
+  outcome.duration = baseline.duration;
+  outcome.baseline_user_energy = baseline.user_energy();
+  outcome.baseline_isp_energy = baseline.isp_energy();
+  outcome.scheme_user_energy = scheme.user_energy();
+  outcome.scheme_isp_energy = scheme.isp_energy();
+  outcome.peak_online_gateways =
+      scheme.online_gateways.mean(config.peak_start, config.peak_end);
+  outcome.wake_events = scheme.gateway_wake_events;
+  return outcome;
+}
+
+CityResult run_city(const CityConfig& config) {
+  return run_city(config, resolve_mix(config));
+}
+
+CityResult run_city(const CityConfig& config,
+                    const std::vector<core::ScenarioPreset>& presets) {
+  validate(config);
+
+  std::vector<std::string> names;
+  names.reserve(config.mix.size());
+  for (const CityMixComponent& component : config.mix) names.push_back(component.preset);
+  CityResult result{config, CityMetrics(std::move(names))};
+
+  // Shard the fleet: each neighbourhood is an independent task keyed by its
+  // index, returning only the small outcome struct — no day series — so N
+  // can reach tens of thousands of gateways in bounded memory.
+  exec::SweepRunner runner(config.threads);
+  const std::vector<NeighbourhoodOutcome> outcomes =
+      runner.run(static_cast<std::size_t>(config.neighbourhoods),
+                 [&](std::size_t index) {
+                   return simulate_neighbourhood(config, presets, index);
+                 });
+
+  // Fold in index order — the exact serial accumulation sequence.
+  for (const NeighbourhoodOutcome& outcome : outcomes) result.metrics.add(outcome);
+  return result;
+}
+
+}  // namespace insomnia::city

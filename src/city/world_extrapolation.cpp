@@ -1,0 +1,27 @@
+#include "city/world_extrapolation.h"
+
+#include "util/error.h"
+
+namespace insomnia::city {
+
+core::WorldExtrapolationConfig world_config_from_city(const CityResult& city,
+                                                      double dsl_subscribers) {
+  const CityMetrics& metrics = city.metrics;
+  util::require(metrics.neighbourhoods() > 0 && metrics.total_gateways() > 0,
+                "world extrapolation needs a non-empty simulated fleet");
+  core::WorldExtrapolationConfig config;
+  config.dsl_subscribers = dsl_subscribers;
+  config.household_watts = metrics.baseline_household_watts_per_gateway();
+  config.isp_watts_per_subscriber = metrics.baseline_isp_watts_per_gateway();
+  config.savings_fraction = metrics.savings_fraction();
+  core::validate(config);  // a degenerate fleet must not extrapolate quietly
+  return config;
+}
+
+core::SavingsSplitTwh annual_savings_from_city(const CityResult& city,
+                                               double dsl_subscribers) {
+  return core::annual_savings_split_twh(world_config_from_city(city, dsl_subscribers),
+                                        city.metrics.isp_share_of_savings());
+}
+
+}  // namespace insomnia::city

@@ -1,0 +1,24 @@
+// Grounds the paper's §5.4 world extrapolation in a simulated fleet: the
+// savings fraction, the ISP share, and the per-subscriber draws all come
+// from a CityResult instead of the four constants the paper multiplies.
+#pragma once
+
+#include "city/city_runner.h"
+#include "core/extrapolation.h"
+
+namespace insomnia::city {
+
+/// Builds a WorldExtrapolationConfig from a simulated city: per-subscriber
+/// household and ISP draws are the fleet's baseline watts per gateway
+/// (gateway = household = DSL subscriber), and the savings fraction is the
+/// fleet's energy-weighted savings. Throws util::InvalidArgument on an empty
+/// or degenerate fleet (no gateways / zero baseline draw).
+core::WorldExtrapolationConfig world_config_from_city(const CityResult& city,
+                                                      double dsl_subscribers = 320e6);
+
+/// The simulation-grounded §5.4 numbers in one call: annual TWh savings
+/// split into user and ISP sides using the fleet's simulated ISP share.
+core::SavingsSplitTwh annual_savings_from_city(const CityResult& city,
+                                               double dsl_subscribers = 320e6);
+
+}  // namespace insomnia::city

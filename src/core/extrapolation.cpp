@@ -5,16 +5,31 @@
 
 namespace insomnia::core {
 
+void validate(const WorldExtrapolationConfig& config) {
+  util::require(config.dsl_subscribers > 0.0, "subscriber count must be positive");
+  util::require(config.household_watts > 0.0, "household draw must be positive");
+  util::require(config.isp_watts_per_subscriber > 0.0,
+                "per-subscriber ISP draw must be positive");
+  util::require(config.savings_fraction >= 0.0 && config.savings_fraction <= 1.0,
+                "savings fraction must be in [0,1]");
+}
+
 double world_access_watts(const WorldExtrapolationConfig& config) {
-  util::require(config.dsl_subscribers >= 0.0, "subscriber count must be non-negative");
+  validate(config);
   return config.dsl_subscribers *
          (config.household_watts + config.isp_watts_per_subscriber);
 }
 
 double annual_savings_twh(const WorldExtrapolationConfig& config) {
-  util::require(config.savings_fraction >= 0.0 && config.savings_fraction <= 1.0,
-                "savings fraction must be in [0,1]");
+  validate(config);
   return util::watt_years_to_twh(world_access_watts(config) * config.savings_fraction);
+}
+
+SavingsSplitTwh annual_savings_split_twh(const WorldExtrapolationConfig& config,
+                                         double isp_share) {
+  util::require(isp_share >= 0.0 && isp_share <= 1.0, "ISP share must be in [0,1]");
+  const double total = annual_savings_twh(config);
+  return {total * (1.0 - isp_share), total * isp_share};
 }
 
 double equivalent_nuclear_plants(const WorldExtrapolationConfig& config,

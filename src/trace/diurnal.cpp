@@ -15,13 +15,19 @@ DiurnalProfile::DiurnalProfile(std::array<double, 24> hourly) : hourly_(hourly) 
 }
 
 double DiurnalProfile::at(double t) const {
-  double day_seconds = std::fmod(t, util::kSecondsPerDay);
+  double day_seconds = std::fmod(t + phase_, util::kSecondsPerDay);
   if (day_seconds < 0.0) day_seconds += util::kSecondsPerDay;
   const double hour_position = day_seconds / util::kSecondsPerHour;
   const int hour = static_cast<int>(hour_position) % 24;
   const int next_hour = (hour + 1) % 24;
   const double fraction = hour_position - std::floor(hour_position);
   return hourly_[hour] + fraction * (hourly_[next_hour] - hourly_[hour]);
+}
+
+DiurnalProfile DiurnalProfile::shifted(double seconds) const {
+  DiurnalProfile copy = *this;
+  copy.phase_ += seconds;
+  return copy;
 }
 
 double DiurnalProfile::peak() const {

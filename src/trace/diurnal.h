@@ -17,13 +17,22 @@ class DiurnalProfile {
   /// Builds a profile from 24 hourly intensities (each in [0, 1]).
   explicit DiurnalProfile(std::array<double, 24> hourly);
 
-  /// Intensity at time-of-day `t` seconds (t is taken modulo 24 h).
+  /// Intensity at time-of-day `t` seconds (t + phase is taken modulo 24 h).
   double at(double t) const;
+
+  /// Returns a copy whose day runs `seconds` early: shifted(dt).at(t) ==
+  /// at(t + dt) for every t. Negative values delay the day. The city layer
+  /// uses this to jitter neighbourhood activity phases.
+  DiurnalProfile shifted(double seconds) const;
+
+  /// Accumulated phase offset in seconds (0 for unshifted profiles).
+  double phase() const { return phase_; }
 
   /// Largest control-point intensity.
   double peak() const;
 
-  /// Hour (0-23) whose control point is the largest.
+  /// Hour (0-23) whose control point is the largest, in the profile's own
+  /// unshifted frame (phase does not move the control points).
   int peak_hour() const;
 
   /// The profile shaped like the UCSD CS-building wireless activity used by
@@ -40,6 +49,7 @@ class DiurnalProfile {
 
  private:
   std::array<double, 24> hourly_;
+  double phase_ = 0.0;  ///< seconds added to query times before wrapping
 };
 
 }  // namespace insomnia::trace

@@ -1,10 +1,13 @@
 #include "trace/trace_io.h"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/csv.h"
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace insomnia::trace {
 
@@ -17,22 +20,39 @@ void write_flow_trace(std::ostream& out, const FlowTrace& flows) {
   }
 }
 
+namespace {
+
+/// Parses a whole field as a double; trailing junk ("10x") is malformed, not
+/// a 10 — silently truncating a corrupted trace would skew every replay.
+double parse_field(const std::string& field) {
+  const auto value = util::parse_double(field);
+  util::require(value.has_value(), "malformed flow trace field \"" + field + "\"");
+  return *value;
+}
+
+}  // namespace
+
 FlowTrace read_flow_trace(std::istream& in) {
   const util::CsvDocument doc = util::parse_csv(in, /*has_header=*/true);
-  util::require(doc.header.size() == 3, "flow trace must have 3 columns");
+  // An empty stream or one that jumps straight into data rows is missing the
+  // header — reject it rather than silently swallowing the first record.
+  util::require(doc.header == std::vector<std::string>{"start_time", "client", "bytes"},
+                "flow trace must start with a start_time,client,bytes header");
   FlowTrace flows;
   flows.reserve(doc.rows.size());
   double last_time = -1.0;
   for (const auto& row : doc.rows) {
     util::require(row.size() == 3, "flow trace row must have 3 fields");
     FlowRecord record;
-    try {
-      record.start_time = std::stod(row[0]);
-      record.client = std::stoi(row[1]);
-      record.bytes = std::stod(row[2]);
-    } catch (const std::exception&) {
-      throw util::InvalidArgument("malformed flow trace row");
-    }
+    record.start_time = parse_field(row[0]);
+    const double client = parse_field(row[1]);
+    // Range-check before the cast: converting an out-of-int-range double is
+    // undefined behaviour, not a catchable error.
+    util::require(client >= 0.0 && client <= std::numeric_limits<int>::max() &&
+                      client == std::floor(client),
+                  "flow trace client must be a non-negative integer");
+    record.client = static_cast<int>(client);
+    record.bytes = parse_field(row[2]);
     util::require(record.start_time >= last_time, "flow trace must be sorted by time");
     util::require(record.bytes >= 0.0, "flow bytes must be non-negative");
     last_time = record.start_time;

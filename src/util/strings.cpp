@@ -64,6 +64,32 @@ std::optional<int> parse_positive_int(std::string_view text) {
   return static_cast<int>(value);
 }
 
+std::optional<std::uint64_t> parse_uint64(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return std::nullopt;
+  // Reject signs ourselves: strtoull happily wraps "-1" to 2^64-1.
+  if (trimmed.front() == '-' || trimmed.front() == '+') return std::nullopt;
+  const std::string copy(trimmed);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(copy.c_str(), &end, 10);
+  if (end != copy.c_str() + copy.size()) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return std::nullopt;
+  const std::string copy(trimmed);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return value;
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view separator) {
   std::string out;
   for (std::size_t i = 0; i < parts.size(); ++i) {

@@ -1,6 +1,7 @@
 // Small string utilities shared by the CSV reader and report printers.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -30,5 +31,15 @@ std::string join(const std::vector<std::string>& parts, std::string_view separat
 /// Returns nullopt on empty input, trailing junk, overflow, zero, or
 /// negative values — the environment-knob parsers reject all of those.
 std::optional<int> parse_positive_int(std::string_view text);
+
+/// Parses `text` (after trimming) as a non-negative base-10 uint64 (e.g. an
+/// RNG seed). Returns nullopt on empty input, trailing junk, a sign, or
+/// overflow.
+std::optional<std::uint64_t> parse_uint64(std::string_view text);
+
+/// Parses the whole of `text` (after trimming) as a double. Returns nullopt
+/// on empty input, trailing junk ("1.5x"), or out-of-range values — a
+/// half-parsed number must never silently run a different experiment.
+std::optional<double> parse_double(std::string_view text);
 
 }  // namespace insomnia::util

@@ -1,0 +1,165 @@
+// Fleet-runner behaviour on a shrunken two-preset population: structural
+// sanity of the aggregates, the simulation-grounded world extrapolation
+// bridge, and a pinned-seed golden that locks the city aggregates the same
+// way tests/test_regression_figures.cpp locks the figure experiments.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "city/city_runner.h"
+#include "city/neighbourhood_sampler.h"
+#include "city/world_extrapolation.h"
+#include "core/extrapolation.h"
+#include "util/error.h"
+
+namespace insomnia::city {
+namespace {
+
+#if !defined(__GLIBCXX__)
+#define INSOMNIA_SKIP_GOLDENS() \
+  GTEST_SKIP() << "golden values assume libstdc++ distribution algorithms"
+#else
+#define INSOMNIA_SKIP_GOLDENS() (void)0
+#endif
+
+core::ScenarioPreset tiny_preset(const std::string& name, int clients, int gateways) {
+  core::ScenarioPreset preset;
+  preset.name = name;
+  preset.summary = name;
+  core::ScenarioConfig& s = preset.scenario;
+  s.client_count = clients;
+  s.gateway_count = gateways;
+  s.degrees.node_count = gateways;
+  s.degrees.mean_degree = 3.0;
+  s.traffic.client_count = clients;
+  s.dslam.line_cards = 4;
+  s.dslam.ports_per_card = 2;
+  return preset;
+}
+
+CityConfig tiny_city(int neighbourhoods, int threads = 1) {
+  NeighbourhoodJitter jitter;
+  jitter.gateway_count_spread = 0.2;
+  jitter.client_density_spread = 0.2;
+  jitter.backhaul_sigma = 0.15;
+  jitter.diurnal_phase_spread = 3600.0;
+  CityConfig config;
+  config.neighbourhoods = neighbourhoods;
+  config.seed = 2026;
+  config.threads = threads;
+  config.mix = {{"tiny-a", 2.0, jitter}, {"tiny-b", 1.0, jitter}};
+  return config;
+}
+
+std::vector<core::ScenarioPreset> tiny_presets() {
+  return {tiny_preset("tiny-a", 48, 8), tiny_preset("tiny-b", 24, 6)};
+}
+
+TEST(CityRunner, FleetAggregatesAreStructurallySane) {
+  const CityConfig config = tiny_city(6);
+  const CityResult result = run_city(config, tiny_presets());
+  const CityMetrics& metrics = result.metrics;
+
+  EXPECT_EQ(metrics.neighbourhoods(), 6u);
+  EXPECT_GT(metrics.total_gateways(), 0);
+  EXPECT_GT(metrics.total_clients(), 0);
+  EXPECT_GT(metrics.baseline_watts(), 0.0);
+  EXPECT_GT(metrics.scheme_watts(), 0.0);
+  EXPECT_LT(metrics.scheme_watts(), metrics.baseline_watts());
+  EXPECT_GT(metrics.savings_fraction(), 0.0);
+  EXPECT_LT(metrics.savings_fraction(), 1.0);
+  EXPECT_GE(metrics.isp_share_of_savings(), 0.0);
+  EXPECT_LE(metrics.isp_share_of_savings(), 1.0);
+  EXPECT_GT(metrics.wake_events(), 0);
+  EXPECT_GE(metrics.peak_online_gateways(), 0.0);
+  EXPECT_LE(metrics.peak_online_gateways(),
+            static_cast<double>(metrics.total_gateways()));
+  EXPECT_EQ(metrics.neighbourhood_savings().count(), 6u);
+  EXPECT_GT(metrics.savings_ci95_halfwidth(), 0.0);
+
+  // Slices partition the fleet.
+  std::size_t neighbourhoods = 0;
+  long gateways = 0;
+  double baseline = 0.0;
+  for (const PresetAggregate& slice : metrics.per_preset()) {
+    neighbourhoods += slice.neighbourhoods;
+    gateways += slice.gateways;
+    baseline += slice.baseline_watts;
+  }
+  ASSERT_EQ(metrics.per_preset().size(), 2u);
+  EXPECT_EQ(metrics.per_preset()[0].preset, "tiny-a");
+  EXPECT_EQ(neighbourhoods, 6u);
+  EXPECT_EQ(gateways, metrics.total_gateways());
+  EXPECT_NEAR(baseline, metrics.baseline_watts(), 1e-9);
+}
+
+TEST(CityRunner, SimulateNeighbourhoodMatchesTheFoldedMetrics) {
+  const CityConfig config = tiny_city(3);
+  const auto presets = tiny_presets();
+  const CityResult result = run_city(config, presets);
+
+  CityMetrics refolded(std::vector<std::string>{"tiny-a", "tiny-b"});
+  for (std::size_t i = 0; i < 3; ++i) {
+    refolded.add(simulate_neighbourhood(config, presets, i));
+  }
+  EXPECT_EQ(refolded.total_gateways(), result.metrics.total_gateways());
+  EXPECT_EQ(refolded.baseline_watts(), result.metrics.baseline_watts());
+  EXPECT_EQ(refolded.scheme_watts(), result.metrics.scheme_watts());
+  EXPECT_EQ(refolded.wake_events(), result.metrics.wake_events());
+}
+
+TEST(CityRunner, RegistryEntryPointRejectsUnknownPresets) {
+  CityConfig config = tiny_city(2);  // names not in the registry
+  EXPECT_THROW(run_city(config), util::InvalidArgument);
+  config.neighbourhoods = 0;
+  EXPECT_THROW(run_city(config, tiny_presets()), util::InvalidArgument);
+}
+
+TEST(CityRunner, WorldExtrapolationIsGroundedInTheFleet) {
+  const CityResult result = run_city(tiny_city(4), tiny_presets());
+  const CityMetrics& metrics = result.metrics;
+
+  const core::WorldExtrapolationConfig world = world_config_from_city(result, 320e6);
+  EXPECT_DOUBLE_EQ(world.dsl_subscribers, 320e6);
+  EXPECT_DOUBLE_EQ(world.household_watts, metrics.baseline_household_watts_per_gateway());
+  EXPECT_DOUBLE_EQ(world.isp_watts_per_subscriber,
+                   metrics.baseline_isp_watts_per_gateway());
+  EXPECT_DOUBLE_EQ(world.savings_fraction, metrics.savings_fraction());
+
+  const core::SavingsSplitTwh split = annual_savings_from_city(result, 320e6);
+  EXPECT_NEAR(split.total_twh(), core::annual_savings_twh(world), 1e-9);
+  EXPECT_NEAR(split.isp_twh,
+              core::annual_savings_twh(world) * metrics.isp_share_of_savings(), 1e-9);
+}
+
+// Locks the pinned-seed small-city aggregates: any change to the sampler's
+// draw order, the runner's substream salts, scheme wiring, or the fold
+// arithmetic shifts these numbers. Regenerate by printing the fields of
+// run_city(tiny_city(4, 1), tiny_presets()) on libstdc++.
+TEST(CityRunner, PinnedSeedGoldenAggregates) {
+  const CityResult result = run_city(tiny_city(4, 1), tiny_presets());
+  const CityMetrics& metrics = result.metrics;
+
+  EXPECT_EQ(metrics.neighbourhoods(), 4u);
+
+  INSOMNIA_SKIP_GOLDENS();
+
+  EXPECT_EQ(metrics.total_gateways(), 29);
+  EXPECT_EQ(metrics.total_clients(), 144);
+  EXPECT_EQ(metrics.wake_events(), 254);
+  EXPECT_DOUBLE_EQ(metrics.baseline_watts(), 1989.0);
+  EXPECT_DOUBLE_EQ(metrics.scheme_watts(), 713.33473547834092);
+  EXPECT_DOUBLE_EQ(metrics.savings_fraction(), 0.64136011288167882);
+  EXPECT_DOUBLE_EQ(metrics.isp_share_of_savings(), 0.75793908434310842);
+  EXPECT_DOUBLE_EQ(metrics.peak_online_gateways(), 10.827823445198296);
+  EXPECT_DOUBLE_EQ(metrics.savings_ci95_halfwidth(), 0.049395042564443215);
+  ASSERT_EQ(metrics.per_preset().size(), 2u);
+  EXPECT_EQ(metrics.per_preset()[0].neighbourhoods, 2u);
+  EXPECT_EQ(metrics.per_preset()[1].neighbourhoods, 2u);
+  EXPECT_DOUBLE_EQ(metrics.per_preset()[0].savings_fraction(), 0.60674698795365933);
+  EXPECT_DOUBLE_EQ(metrics.per_preset()[1].savings_fraction(), 0.68133583462953207);
+}
+
+}  // namespace
+}  // namespace insomnia::city

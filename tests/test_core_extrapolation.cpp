@@ -43,10 +43,39 @@ TEST(Extrapolation, Validation) {
   config.savings_fraction = 1.5;
   EXPECT_THROW(annual_savings_twh(config), util::InvalidArgument);
   config = {};
+  config.savings_fraction = -0.1;
+  EXPECT_THROW(annual_savings_twh(config), util::InvalidArgument);
+  config = {};
   config.dsl_subscribers = -1.0;
   EXPECT_THROW(world_access_watts(config), util::InvalidArgument);
   config = {};
+  config.dsl_subscribers = 0.0;  // non-positive, not just negative
+  EXPECT_THROW(world_access_watts(config), util::InvalidArgument);
+  config = {};
+  config.household_watts = 0.0;
+  EXPECT_THROW(annual_savings_twh(config), util::InvalidArgument);
+  config = {};
+  config.isp_watts_per_subscriber = -3.0;
+  EXPECT_THROW(annual_savings_twh(config), util::InvalidArgument);
+  config = {};
   EXPECT_THROW(equivalent_nuclear_plants(config, 0.0), util::InvalidArgument);
+  EXPECT_NO_THROW(validate(config));
+}
+
+TEST(Extrapolation, SavingsSplitSumsToTotalAndScalesWithShare) {
+  const WorldExtrapolationConfig config;
+  const double total = annual_savings_twh(config);
+  const SavingsSplitTwh split = annual_savings_split_twh(config, 1.0 / 3.0);
+  EXPECT_NEAR(split.total_twh(), total, 1e-12);
+  EXPECT_NEAR(split.isp_twh, total / 3.0, 1e-12);
+  EXPECT_NEAR(split.user_twh, 2.0 * total / 3.0, 1e-12);
+
+  const SavingsSplitTwh all_user = annual_savings_split_twh(config, 0.0);
+  EXPECT_DOUBLE_EQ(all_user.isp_twh, 0.0);
+  EXPECT_DOUBLE_EQ(all_user.user_twh, total);
+
+  EXPECT_THROW(annual_savings_split_twh(config, -0.1), util::InvalidArgument);
+  EXPECT_THROW(annual_savings_split_twh(config, 1.1), util::InvalidArgument);
 }
 
 }  // namespace

@@ -38,6 +38,24 @@ TEST(Diurnal, NegativeTimeWraps) {
   EXPECT_NEAR(p.at(-3600.0), p.at(23.0 * 3600.0), 1e-12);
 }
 
+TEST(Diurnal, ShiftedRunsTheDayEarly) {
+  const DiurnalProfile p = DiurnalProfile::ucsd_office();
+  const double dt = 2.5 * 3600.0;
+  const DiurnalProfile early = p.shifted(dt);
+  EXPECT_DOUBLE_EQ(early.phase(), dt);
+  for (double t : {0.0, 1800.0, 12.0 * 3600.0, 86000.0}) {
+    EXPECT_DOUBLE_EQ(early.at(t), p.at(t + dt)) << "t=" << t;
+  }
+  // Negative offsets delay the day; shifts compose and can wrap.
+  const DiurnalProfile late = p.shifted(-3600.0);
+  EXPECT_DOUBLE_EQ(late.at(7200.0), p.at(3600.0));
+  const DiurnalProfile round_trip = early.shifted(-dt);
+  EXPECT_DOUBLE_EQ(round_trip.at(5000.0), p.at(5000.0));
+  EXPECT_DOUBLE_EQ(p.shifted(86400.0 * 3).at(1234.0), p.at(1234.0));
+  // The unshifted profile reports zero phase.
+  EXPECT_DOUBLE_EQ(p.phase(), 0.0);
+}
+
 TEST(Diurnal, UcsdPeaksLateAfternoon) {
   const DiurnalProfile p = DiurnalProfile::ucsd_office();
   EXPECT_EQ(p.peak_hour(), 16);

@@ -40,6 +40,45 @@ TEST(TraceIo, EmptyTrace) {
   EXPECT_TRUE(read_flow_trace(buffer).empty());
 }
 
+TEST(TraceIo, RejectsEmptyFile) {
+  std::istringstream in("");
+  EXPECT_THROW(read_flow_trace(in), util::InvalidArgument);
+  std::istringstream comments_only("# a comment\n\n# another\n");
+  EXPECT_THROW(read_flow_trace(comments_only), util::InvalidArgument);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  // Data-first input: without the check the first record would be silently
+  // consumed as a header.
+  std::istringstream in("0,0,10\n1,0,10\n");
+  EXPECT_THROW(read_flow_trace(in), util::InvalidArgument);
+  std::istringstream wrong_names("time,who,size\n1,0,10\n");
+  EXPECT_THROW(read_flow_trace(wrong_names), util::InvalidArgument);
+}
+
+TEST(TraceIo, RejectsTrailingGarbage) {
+  std::istringstream extra_field("start_time,client,bytes\n1,0,10,junk\n");
+  EXPECT_THROW(read_flow_trace(extra_field), util::InvalidArgument);
+  std::istringstream junk_in_field("start_time,client,bytes\n1,0,10junk\n");
+  EXPECT_THROW(read_flow_trace(junk_in_field), util::InvalidArgument);
+  std::istringstream trailer_line("start_time,client,bytes\n1,0,10\ngarbage trailer\n");
+  EXPECT_THROW(read_flow_trace(trailer_line), util::InvalidArgument);
+}
+
+TEST(TraceIo, RejectsFractionalClient) {
+  std::istringstream in("start_time,client,bytes\n1,0.5,10\n");
+  EXPECT_THROW(read_flow_trace(in), util::InvalidArgument);
+}
+
+TEST(TraceIo, RejectsOutOfRangeClient) {
+  // Must be rejected by the range check, not hit the undefined
+  // double-to-int conversion.
+  std::istringstream too_big("start_time,client,bytes\n1,2147483648,10\n");
+  EXPECT_THROW(read_flow_trace(too_big), util::InvalidArgument);
+  std::istringstream negative("start_time,client,bytes\n1,-1,10\n");
+  EXPECT_THROW(read_flow_trace(negative), util::InvalidArgument);
+}
+
 TEST(TraceIo, RejectsWrongColumnCount) {
   std::istringstream in("start_time,client\n1,2\n");
   EXPECT_THROW(read_flow_trace(in), util::InvalidArgument);
@@ -67,6 +106,25 @@ TEST(TraceIo, SaveAndLoadFile) {
   const FlowTrace loaded = load_flow_trace(path);
   EXPECT_EQ(loaded.size(), 2u);
   EXPECT_THROW(load_flow_trace("/nonexistent/dir/file.csv"), util::InvalidArgument);
+}
+
+TEST(TraceIo, SaveAndLoadGeneratedTrace) {
+  SyntheticTraceConfig config;
+  config.client_count = 25;
+  sim::Random rng(11);
+  const FlowTrace flows = SyntheticCrawdadGenerator(config).generate(rng);
+  ASSERT_FALSE(flows.empty());
+
+  const std::string path = ::testing::TempDir() + "/trace_io_generated.csv";
+  save_flow_trace(path, flows);
+  const FlowTrace loaded = load_flow_trace(path);
+  ASSERT_EQ(loaded.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_NEAR(loaded[i].start_time, flows[i].start_time, 1e-6) << "flow " << i;
+    EXPECT_EQ(loaded[i].client, flows[i].client) << "flow " << i;
+    EXPECT_NEAR(loaded[i].bytes, flows[i].bytes, flows[i].bytes * 1e-6 + 1e-6)
+        << "flow " << i;
+  }
 }
 
 }  // namespace

@@ -1,3 +1,5 @@
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -47,6 +49,34 @@ TEST(Strings, StartsWith) {
 TEST(Strings, Join) {
   EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ParsePositiveInt) {
+  EXPECT_EQ(parse_positive_int(" 42 "), 42);
+  EXPECT_FALSE(parse_positive_int("0").has_value());
+  EXPECT_FALSE(parse_positive_int("-3").has_value());
+  EXPECT_FALSE(parse_positive_int("7x").has_value());
+  EXPECT_FALSE(parse_positive_int("").has_value());
+  EXPECT_FALSE(parse_positive_int("99999999999999999999").has_value());
+}
+
+TEST(Strings, ParseUint64) {
+  EXPECT_EQ(parse_uint64("0"), std::uint64_t{0});  // a valid RNG seed
+  EXPECT_EQ(parse_uint64(" 18446744073709551615 "),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parse_uint64("18446744073709551616").has_value());  // 2^64
+  EXPECT_FALSE(parse_uint64("-1").has_value());  // strtoull would wrap this
+  EXPECT_FALSE(parse_uint64("+1").has_value());
+  EXPECT_FALSE(parse_uint64("12junk").has_value());
+  EXPECT_FALSE(parse_uint64("").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_EQ(parse_double(" 1.5 "), 1.5);
+  EXPECT_EQ(parse_double("-2e3"), -2000.0);
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("1e999").has_value());  // out of range
 }
 
 TEST(Units, TimeConversions) {
