@@ -1,0 +1,182 @@
+// Perf harness (not a paper artefact): measures how fast one simulated
+// gateway-day runs. For every scenario preset it replays paired days — the
+// no-sleep baseline plus the headline BH2 scheme on the same trace and
+// topology, the unit every figure and the city fleet is built from — and
+// reports wall clock, events/sec and flows/sec, then writes the machine
+// readable BENCH_day_throughput.json consumed by scripts/perfbench.sh.
+//
+// Usage: day_throughput [--runs N] [--smoke] [--out PATH]
+//                       [--threads N] [--list-presets]
+//   --runs N   paired days per preset (default 3)
+//   --smoke    CI mode: one paired day per preset
+//   --out PATH where to write the JSON (default: BENCH_day_throughput.json)
+//
+// The harness is deliberately single-threaded: it measures the inner event
+// loop, not the sharding engine (scripts/speedup.sh covers that half).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/scenario_presets.h"
+#include "core/schemes.h"
+#include "sim/random.h"
+#include "topology/access_topology.h"
+#include "trace/synthetic_crawdad.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace insomnia;
+
+struct PresetResult {
+  std::string name;
+  int days = 0;                 ///< simulated gateway-days (runs x 2 schemes)
+  std::uint64_t events = 0;     ///< simulator events dispatched
+  std::uint64_t flows = 0;      ///< trace flows replayed
+  double wall_ms = 0.0;
+};
+
+double events_per_sec(const PresetResult& r) {
+  return r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3) : 0.0;
+}
+
+double flows_per_sec(const PresetResult& r) {
+  return r.wall_ms > 0.0 ? static_cast<double>(r.flows) / (r.wall_ms / 1e3) : 0.0;
+}
+
+double wall_ms_per_day(const PresetResult& r) {
+  return r.days > 0 ? r.wall_ms / static_cast<double>(r.days) : 0.0;
+}
+
+void write_result(std::ostream& out, const PresetResult& r, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out << pad << "\"days\": " << r.days << ",\n"
+      << pad << "\"events\": " << r.events << ",\n"
+      << pad << "\"flows\": " << r.flows << ",\n"
+      << pad << "\"wall_ms\": " << util::format_fixed(r.wall_ms, 3) << ",\n"
+      << pad << "\"wall_ms_per_day\": " << util::format_fixed(wall_ms_per_day(r), 3) << ",\n"
+      << pad << "\"events_per_sec\": " << util::format_fixed(events_per_sec(r), 1) << ",\n"
+      << pad << "\"flows_per_sec\": " << util::format_fixed(flows_per_sec(r), 1) << "\n";
+}
+
+PresetResult run_preset(const core::ScenarioPreset& preset, int runs, std::uint64_t seed) {
+  PresetResult result;
+  result.name = preset.name;
+  const core::ScenarioConfig& scenario = preset.scenario;
+
+  // Same derivations as core::run_main_experiment: one fixed topology per
+  // preset, per-run trace substreams, per-scheme seeds.
+  sim::Random topo_rng(sim::Random::substream_seed(seed, 0, 7));
+  const topo::AccessTopology topology =
+      topo::make_overlap_topology(scenario.client_count, scenario.degrees, topo_rng);
+  const trace::SyntheticCrawdadGenerator generator(scenario.traffic);
+
+  for (int run = 0; run < runs; ++run) {
+    sim::Random trace_rng(sim::Random::substream_seed(seed, run, 1));
+    const trace::FlowTrace flows = generator.generate(trace_rng);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::RunMetrics baseline =
+        run_scheme(scenario, topology, flows, core::SchemeKind::kNoSleep,
+                   sim::Random::substream_seed(seed, run, 2));
+    const core::RunMetrics bh2 =
+        run_scheme(scenario, topology, flows, core::SchemeKind::kBh2KSwitch,
+                   sim::Random::substream_seed(seed, run, 100));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    result.days += 2;
+    result.events += baseline.executed_events + bh2.executed_events;
+    result.flows += 2 * static_cast<std::uint64_t>(flows.size());
+    result.wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int runs = 3;
+  std::string out_path = "BENCH_day_throughput.json";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (bench::handle_common_flag(argc, argv, i)) continue;
+      const std::string arg = argv[i];
+      if (arg == "--smoke") {
+        runs = 1;
+      } else if (arg == "--runs") {
+        util::require(i + 1 < argc, "--runs needs a count");
+        const auto parsed = util::parse_positive_int(argv[++i]);
+        util::require(parsed.has_value(), "--runs must be a positive integer");
+        runs = *parsed;
+      } else if (arg == "--out") {
+        util::require(i + 1 < argc, "--out needs a path");
+        out_path = argv[++i];
+      } else {
+        throw util::InvalidArgument(
+            "unknown argument \"" + arg + "\"; usage: " + argv[0] +
+            " [--runs N] [--smoke] [--out PATH] [--threads N] [--list-presets]");
+      }
+    }
+  } catch (const util::InvalidArgument& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
+
+  bench::banner("BENCH day_throughput",
+                "paired no-sleep + BH2 day wall-clock across presets");
+  std::cout << runs << " paired day(s) per preset, single worker\n\n";
+
+  const std::uint64_t seed = 42;
+  std::vector<PresetResult> results;
+  for (const core::ScenarioPreset& preset : core::scenario_presets()) {
+    results.push_back(run_preset(preset, runs, seed));
+  }
+
+  util::TextTable table;
+  table.set_header({"preset", "days", "events", "wall ms/day", "events/sec", "flows/sec"});
+  PresetResult total;
+  total.name = "total";
+  for (const PresetResult& r : results) {
+    table.add_row({r.name, std::to_string(r.days), std::to_string(r.events),
+                   util::format_fixed(wall_ms_per_day(r), 1),
+                   util::format_fixed(events_per_sec(r), 0),
+                   util::format_fixed(flows_per_sec(r), 0)});
+    total.days += r.days;
+    total.events += r.events;
+    total.flows += r.flows;
+    total.wall_ms += r.wall_ms;
+  }
+  table.add_row({total.name, std::to_string(total.days), std::to_string(total.events),
+                 util::format_fixed(wall_ms_per_day(total), 1),
+                 util::format_fixed(events_per_sec(total), 0),
+                 util::format_fixed(flows_per_sec(total), 0)});
+  table.print(std::cout);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"day_throughput\",\n"
+      << "  \"schemes\": [\"no-sleep\", \"bh2-kswitch\"],\n"
+      << "  \"runs_per_preset\": " << runs << ",\n"
+      << "  \"presets\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "    \"" << results[i].name << "\": {\n";
+    write_result(out, results[i], 6);
+    out << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  },\n"
+      << "  \"total\": {\n";
+  write_result(out, total, 4);
+  out << "  }\n"
+      << "}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

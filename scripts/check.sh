@@ -23,3 +23,7 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 # sharded paired days -> streamed aggregates -> simulation-grounded §5.4
 # extrapolation) end to end through the real CLI.
 "$build_dir/city01_fleet" --size 4 --seed 7 > /dev/null
+
+# Perf-harness smoke: one paired day per preset, then validate the shape of
+# BENCH_day_throughput.json (events/sec > 0 — no wall-clock gate here).
+"$repo_root/scripts/perfbench.sh" --smoke "$build_dir" > /dev/null

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Repeatable single-machine perf baseline: builds Release and runs the
+# bench/day_throughput harness (paired no-sleep + BH2 days across the four
+# scenario presets), leaving BENCH_day_throughput.json at the repo root.
+# The JSON is this repo's tracked perf trajectory — compare events_per_sec
+# across commits measured on the same machine.
+#
+# Usage: scripts/perfbench.sh [--smoke] [build-dir]
+#   --smoke    CI mode: one paired day per preset, then validate the JSON
+#              shape (events/sec > 0) instead of gating on wall clock —
+#              hosted runners are too noisy for absolute thresholds. Smoke
+#              output goes to <build-dir>/BENCH_day_throughput.json so a
+#              routine check.sh run never clobbers the committed repo-root
+#              snapshot (which only a full run refreshes, deliberately).
+#   build-dir  default: build
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+smoke=0
+build_dir="$repo_root/build"
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$build_dir" -S "$repo_root" > /dev/null
+cmake --build "$build_dir" -j "$jobs" --target day_throughput > /dev/null
+
+if [ "$smoke" -eq 1 ]; then
+  out="$build_dir/BENCH_day_throughput.json"
+  "$build_dir/day_throughput" --smoke --out "$out"
+else
+  out="$repo_root/BENCH_day_throughput.json"
+  "$build_dir/day_throughput" --out "$out"
+fi
+
+# Validate the artefact: well-formed enough to track, and the harness
+# actually simulated something (events/sec strictly positive).
+[ -s "$out" ] || { echo "error: $out missing or empty" >&2; exit 1; }
+grep -q '"benchmark": "day_throughput"' "$out" || {
+  echo "error: $out lacks the benchmark tag" >&2; exit 1; }
+events=$(grep -o '"events_per_sec": [0-9.]*' "$out" | tail -1 | awk '{print $2}')
+awk "BEGIN { exit !($events > 0) }" || {
+  echo "error: total events_per_sec is $events (expected > 0)" >&2; exit 1; }
+echo "BENCH_day_throughput.json: total events/sec = $events"

@@ -3,6 +3,7 @@
 // and the §5.2.3 table are computed from.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -33,6 +34,11 @@ struct RunMetrics {
   long gateway_wake_events = 0;
   long bh2_moves = 0;          ///< BH2 assignment changes (oscillation gauge)
   long bh2_home_returns = 0;
+
+  /// Discrete events the simulator dispatched during the day (arrivals,
+  /// completions, wake-ups, idle checks, ...). Drives the events/sec figure
+  /// reported by bench/day_throughput; does not affect any paper artefact.
+  std::uint64_t executed_events = 0;
 
   /// Total energy over the day (J): user + ISP.
   double total_energy() const {

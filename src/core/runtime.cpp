@@ -45,6 +45,7 @@ AccessRuntime::AccessRuntime(const ScenarioConfig& scenario,
   std::vector<double> backhaul(static_cast<std::size_t>(scenario.gateway_count),
                                scenario.backhaul_bps);
   network_ = std::make_unique<flow::FluidNetwork>(simulator_, std::move(backhaul));
+  network_->reserve_flows(flows.size());
   network_->set_completion_handler([this](const flow::CompletedFlow& done) {
     if (done.id < metrics_.completion_time.size()) {
       metrics_.completion_time[done.id] = done.duration();
@@ -196,11 +197,13 @@ void AccessRuntime::force_asleep(int gateway) {
 
 void AccessRuntime::arm_idle_check(int gateway) {
   auto& pending = idle_events_[static_cast<std::size_t>(gateway)];
-  if (pending != sim::kInvalidEventId) simulator_.cancel(pending);
   const double reference = std::max(network_->last_activity(gateway),
                                     activation_time_[static_cast<std::size_t>(gateway)]);
   const double when = std::max(reference + scenario_->idle_timeout,
                                simulator_.now() + 1e-9);
+  // Re-arming an armed timer moves the pending event (the stored closure is
+  // identical); only a disarmed gateway needs a fresh one.
+  if (pending != sim::kInvalidEventId && simulator_.reschedule(pending, when)) return;
   pending = simulator_.at(when, [this, gateway] {
     idle_events_[static_cast<std::size_t>(gateway)] = sim::kInvalidEventId;
     idle_check(gateway);
@@ -233,17 +236,22 @@ void AccessRuntime::repack_dslam() {
   sync_card_meters();
 }
 
-void AccessRuntime::schedule_next_arrival() {
+double AccessRuntime::ArrivalStream::next_time() const {
+  return runtime_->cursor_ < runtime_->flows_->size()
+             ? (*runtime_->flows_)[runtime_->cursor_].start_time
+             : std::numeric_limits<double>::infinity();
+}
+
+void AccessRuntime::arm_next_arrival() {
   if (cursor_ >= flows_->size()) return;
-  const double when = (*flows_)[cursor_].start_time;
-  simulator_.at(when, [this] { process_arrival(); });
+  arrival_rank_ = simulator_.allocate_sequence();
 }
 
 void AccessRuntime::process_arrival() {
   const trace::FlowRecord& record = (*flows_)[cursor_];
   const auto id = static_cast<flow::FlowId>(cursor_);
   ++cursor_;
-  schedule_next_arrival();
+  arm_next_arrival();
 
   const int gateway = policy_->route_flow(*this, record.client, record.bytes);
   util::require_state(gateway >= 0 && gateway < scenario_->gateway_count,
@@ -261,10 +269,12 @@ RunMetrics AccessRuntime::run() {
     for (int g = 0; g < scenario_->gateway_count; ++g) force_active(g);
   }
   policy_->start(*this);
-  schedule_next_arrival();
-  simulator_.run_until(scenario_->duration + scenario_->drain_time);
+  arm_next_arrival();
+  ArrivalStream arrivals(*this);
+  simulator_.run_until(scenario_->duration + scenario_->drain_time, &arrivals);
 
   // Assemble metrics.
+  metrics_.executed_events = simulator_.executed_events();
   metrics_.user_power = households_.power_series();
   metrics_.isp_power = stats::sum_series({&modems_.power_series(), &cards_.power_series()},
                                          scenario_->power.shelf.active_watts);

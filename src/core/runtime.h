@@ -124,11 +124,26 @@ class AccessRuntime {
   /// Re-reads the DSLAM card states into the card meter and series.
   void sync_card_meters();
 
-  /// Schedules the next trace arrival (one event in flight at a time).
-  void schedule_next_arrival();
+  /// Claims the FIFO rank of the next trace arrival. The trace is already
+  /// time-sorted, so arrivals replay as a sim::EventStream instead of
+  /// churning through the event heap; the rank is taken exactly where the
+  /// arrival event used to be scheduled, keeping event order identical.
+  void arm_next_arrival();
 
   /// Processes the trace flow at `cursor_`.
   void process_arrival();
+
+  /// Adapts the trace cursor to sim::EventStream for the run loop.
+  class ArrivalStream : public sim::EventStream {
+   public:
+    explicit ArrivalStream(AccessRuntime& runtime) : runtime_(&runtime) {}
+    double next_time() const override;
+    std::uint64_t next_rank() const override { return runtime_->arrival_rank_; }
+    void fire() override { runtime_->process_arrival(); }
+
+   private:
+    AccessRuntime* runtime_;
+  };
 
   const ScenarioConfig* scenario_;
   const topo::AccessTopology* topology_;
@@ -155,6 +170,7 @@ class AccessRuntime {
 
   RunMetrics metrics_;
   std::size_t cursor_ = 0;
+  std::uint64_t arrival_rank_ = 0;
   bool ran_ = false;
 };
 

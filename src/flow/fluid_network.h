@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -50,6 +51,11 @@ class FluidNetwork {
 
   /// Invoked whenever a flow finishes.
   void set_completion_handler(std::function<void(const CompletedFlow&)> handler);
+
+  /// Capacity hint: the caller expects about `flow_count` add_flow calls
+  /// with dense ids. Pre-sizes the flow store so the replay loop does not
+  /// pay for incremental growth.
+  void reserve_flows(std::size_t flow_count);
 
   /// Starts a flow of `bytes` for `client` via `gateway`, throttled to at
   /// most `wireless_cap` bits/s over the air. Zero-byte flows complete
@@ -111,15 +117,37 @@ class FluidNetwork {
     bool done = false;
   };
 
+  /// One live flow's wireless cap, kept in the gateway's ascending cap
+  /// order. `seq` is the flow's per-gateway arrival stamp: it breaks cap
+  /// ties FIFO, mirroring the order in which a full sort of the flow list
+  /// would see them.
+  struct SortedCap {
+    double cap = 0.0;
+    std::uint64_t seq = 0;
+    std::size_t flow = 0;  ///< index into flows_
+  };
+
   struct GatewayState {
     double backhaul = 0.0;
     bool serving = false;
-    std::vector<std::size_t> flows;  ///< indices into flows_
+    std::vector<std::size_t> flows;  ///< indices into flows_, arrival order
+    std::vector<SortedCap> sorted;   ///< live caps ascending by (cap, seq)
+    std::vector<std::size_t> finished;  ///< scratch reused by advance()
+    std::uint64_t next_cap_seq = 0;
     sim::EventId completion_event = sim::kInvalidEventId;
-    double last_progress = 0.0;  ///< time progress was last integrated
-    double throughput = 0.0;     ///< current aggregate rate
-    stats::StepSeries served;    ///< aggregate service rate over time
+    double next_completion = 0.0;  ///< scheduled completion-event time
+    double last_progress = 0.0;    ///< time progress was last integrated
+    double throughput = 0.0;       ///< current aggregate rate
+    stats::StepSeries served;      ///< aggregate service rate over time
     double last_activity = 0.0;
+
+    // Exact memo for load(): a repeat query at the same instant with the
+    // same window and an unchanged series is a pure recomputation (BH2
+    // probes several candidate gateways, many repeatedly, per decision).
+    mutable double load_cache_time = -1.0;
+    mutable double load_cache_window = 0.0;
+    mutable std::size_t load_cache_changes = 0;
+    mutable double load_cache_value = 0.0;
 
     GatewayState(double rate, double start)
         : backhaul(rate), last_progress(start), served(start, 0.0), last_activity(start) {}
@@ -128,6 +156,25 @@ class FluidNetwork {
   GatewayState& gateway(int g);
   const GatewayState& gateway(int g) const;
   FlowState& flow_by_id(FlowId id);
+
+  // --- FlowId -> flows_ index map ----------------------------------------
+  // Dense ids (the trace replay uses the trace index) live in a flat
+  // vector; an id far beyond the number of flows ever added would blow the
+  // vector up (a sparse 10^12 id must not allocate gigabytes), so outliers
+  // go to a hash map instead.
+  static constexpr std::size_t kNoIndex = SIZE_MAX;
+  std::size_t find_index(FlowId id) const;
+  void store_index(FlowId id, std::size_t index);
+  void erase_index(FlowId id);
+  /// True when growing the dense vector to hold `id` stays proportionate to
+  /// the number of flows actually seen.
+  bool dense_id(FlowId id) const;
+
+  /// Inserts `flow` into gw's cap order; `seq` is its tie-break stamp.
+  void insert_sorted(GatewayState& gw, std::size_t flow, double cap, std::uint64_t seq);
+
+  /// Removes `flow` from gw's cap order and returns its tie-break stamp.
+  std::uint64_t remove_sorted(GatewayState& gw, std::size_t flow);
 
   /// Integrates progress at `gateway` up to now and completes finished flows.
   void advance(int gateway);
@@ -138,7 +185,8 @@ class FluidNetwork {
   sim::Simulator* simulator_;
   std::vector<GatewayState> gateways_;
   std::vector<FlowState> flows_;                       // all flows ever added
-  std::vector<std::size_t> id_to_index_;               // FlowId -> flows_ index
+  std::vector<std::size_t> id_to_index_;               // dense FlowId -> flows_ index
+  std::unordered_map<FlowId, std::size_t> id_overflow_;  // sparse outlier ids
   std::function<void(const CompletedFlow&)> on_complete_;
   int live_flows_ = 0;
   /// A flow with less than a millibit left is complete (physically

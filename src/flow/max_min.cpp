@@ -7,14 +7,16 @@
 
 namespace insomnia::flow {
 
-std::vector<double> max_min_allocate(double capacity, const std::vector<double>& caps) {
+void max_min_allocate_into(double capacity, const std::vector<double>& caps,
+                           MaxMinScratch& scratch, std::vector<double>& rates) {
   util::require(capacity >= 0.0, "max_min_allocate needs non-negative capacity");
-  std::vector<double> rates(caps.size(), 0.0);
-  if (caps.empty() || capacity == 0.0) return rates;
+  rates.assign(caps.size(), 0.0);
+  if (caps.empty() || capacity == 0.0) return;
 
   // Process flows in ascending cap order: a flow whose cap is below the
   // current equal share freezes at its cap and releases the surplus.
-  std::vector<std::size_t> order(caps.size());
+  std::vector<std::size_t>& order = scratch.order;
+  order.resize(caps.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
             [&caps](std::size_t a, std::size_t b) { return caps[a] < caps[b]; });
@@ -29,6 +31,12 @@ std::vector<double> max_min_allocate(double capacity, const std::vector<double>&
     remaining -= rate;
     --left;
   }
+}
+
+std::vector<double> max_min_allocate(double capacity, const std::vector<double>& caps) {
+  std::vector<double> rates;
+  MaxMinScratch scratch;
+  max_min_allocate_into(capacity, caps, scratch, rates);
   return rates;
 }
 

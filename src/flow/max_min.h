@@ -3,9 +3,17 @@
 // water-filling special case; it is exact and O(n log n).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace insomnia::flow {
+
+/// Reusable working storage for max_min_allocate_into. Keeping one instance
+/// alive across calls makes repeated allocations hit warm capacity — the
+/// simulator's steady-state path performs no heap allocation at all.
+struct MaxMinScratch {
+  std::vector<std::size_t> order;
+};
 
 /// Computes the max-min fair allocation of `capacity` among flows whose
 /// individual ceilings are `caps` (each >= 0). Returns one rate per flow,
@@ -15,5 +23,12 @@ namespace insomnia::flow {
 /// sum(caps) >= capacity the link is fully used; uncapped flows share
 /// equally; no flow can gain rate without another losing.
 std::vector<double> max_min_allocate(double capacity, const std::vector<double>& caps);
+
+/// As max_min_allocate, but writes the result into `rates` (resized to
+/// caps.size()) using caller-owned scratch. Bit-identical to
+/// max_min_allocate for every input; allocation-free once the buffers have
+/// grown to the working size.
+void max_min_allocate_into(double capacity, const std::vector<double>& caps,
+                           MaxMinScratch& scratch, std::vector<double>& rates);
 
 }  // namespace insomnia::flow

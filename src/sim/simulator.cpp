@@ -1,5 +1,8 @@
 #include "sim/simulator.h"
 
+#include <cmath>
+#include <limits>
+
 #include "util/error.h"
 
 namespace insomnia::sim {
@@ -9,17 +12,35 @@ EventId Simulator::at(double t, std::function<void()> action) {
   return queue_.schedule(t, std::move(action));
 }
 
+bool Simulator::reschedule(EventId id, double t) {
+  util::require(t >= now_, "Simulator::reschedule cannot schedule in the past");
+  return queue_.reschedule(id, t);
+}
+
 EventId Simulator::after(double delay, std::function<void()> action) {
   util::require(delay >= 0.0, "Simulator::after needs delay >= 0");
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
-void Simulator::run_until(double end_time) {
+void Simulator::run_until(double end_time, EventStream* stream) {
   util::require(end_time >= now_, "Simulator::run_until cannot rewind the clock");
-  while (!queue_.empty() && queue_.next_time() <= end_time) {
-    // Advance the clock before dispatching so the callback observes now()
-    // equal to its own firing time.
-    now_ = queue_.next_time();
+  while (true) {
+    const bool queued = !queue_.empty();
+    const double tq = queued ? queue_.next_time() : 0.0;
+    const double ts =
+        stream != nullptr ? stream->next_time() : std::numeric_limits<double>::infinity();
+    if (std::isfinite(ts) &&
+        (!queued || ts < tq || (ts == tq && stream->next_rank() < queue_.next_sequence()))) {
+      if (ts > end_time) break;
+      // Advance the clock before dispatching so the callback observes
+      // now() equal to its own firing time.
+      now_ = ts;
+      stream->fire();
+      ++executed_;
+      continue;
+    }
+    if (!queued || tq > end_time) break;
+    now_ = tq;
     queue_.run_next();
     ++executed_;
   }

@@ -8,6 +8,28 @@
 
 namespace insomnia::sim {
 
+/// An external, already-ordered source of timed events that run_until can
+/// interleave with the queue — e.g. a trace replay whose arrivals are
+/// sorted by time and therefore never need to pass through the heap.
+///
+/// Ordering contract: the head's rank must come from
+/// Simulator::allocate_sequence(), taken at the moment the event would
+/// otherwise have been schedule()d. Among equal times, the lower rank
+/// fires first — the exact FIFO order real schedule() calls would give.
+class EventStream {
+ public:
+  virtual ~EventStream() = default;
+
+  /// Time of the stream's head event; +infinity when exhausted.
+  virtual double next_time() const = 0;
+
+  /// FIFO rank of the head event (see class comment).
+  virtual std::uint64_t next_rank() const = 0;
+
+  /// Fires the head event and advances the stream.
+  virtual void fire() = 0;
+};
+
 /// Discrete-event simulator clock and scheduler.
 ///
 /// Time is in seconds and only moves forward. Callbacks receive no
@@ -29,12 +51,24 @@ class Simulator {
   /// Cancels a pending event; returns true if it was still pending.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
+  /// Moves a pending event to absolute time `t` (>= now), reusing its
+  /// stored closure; returns false if `id` is not pending. Equivalent to
+  /// cancel + at with the same callback, minus the allocation.
+  bool reschedule(EventId id, double t);
+
   /// True if `id` is scheduled and has not yet fired or been cancelled.
   bool is_pending(EventId id) const { return queue_.is_pending(id); }
 
   /// Runs events in order until the queue empties or the next event lies
   /// beyond `end_time`; the clock finishes exactly at `end_time`.
-  void run_until(double end_time);
+  void run_until(double end_time) { run_until(end_time, nullptr); }
+
+  /// As run_until, additionally interleaving `stream`'s events (may be
+  /// nullptr) in exact (time, rank) order with the queued ones.
+  void run_until(double end_time, EventStream* stream);
+
+  /// Consumes the next FIFO rank for an EventStream head (see EventStream).
+  std::uint64_t allocate_sequence() { return queue_.allocate_sequence(); }
 
   /// Runs all remaining events (use only when the event set is finite).
   void run_to_completion();

@@ -16,10 +16,14 @@ void StepSeries::set(double t, double value) {
   if (value == values_.back()) return;
   if (t == times_.back()) {
     // Overwrite a zero-width segment instead of storing a duplicate instant.
+    // Cached prefix areas only cover segments before this instant, so they
+    // stay valid; the collapse below may drop the instant they end at.
     values_.back() = value;
     if (values_.size() >= 2 && values_[values_.size() - 2] == value) {
       values_.pop_back();
       times_.pop_back();
+      if (prefix_.size() > times_.size()) prefix_.resize(times_.size());
+      if (cursor_ >= times_.size()) cursor_ = times_.size() - 1;
     }
     return;
   }
@@ -27,21 +31,50 @@ void StepSeries::set(double t, double value) {
   values_.push_back(value);
 }
 
-double StepSeries::value_at(double t) const {
-  util::require(t >= times_.front(), "StepSeries::value_at before start of series");
+std::size_t StepSeries::segment_index(double t) const {
+  // Forward-moving queries (the trailing-window load() pattern) advance the
+  // cursor a few segments per call; anything else falls back to a binary
+  // search. The cursor is a hint only — results never depend on it.
+  if (t >= times_[cursor_]) {
+    std::size_t index = cursor_;
+    while (index + 1 < times_.size() && times_[index + 1] <= t) ++index;
+    cursor_ = index;
+    return index;
+  }
   const auto it = std::upper_bound(times_.begin(), times_.end(), t);
   const auto index = static_cast<std::size_t>(it - times_.begin()) - 1;
-  return values_[index];
+  cursor_ = index;
+  return index;
+}
+
+void StepSeries::ensure_prefix(std::size_t index) const {
+  if (prefix_.empty()) prefix_.push_back(0.0);
+  while (prefix_.size() <= index) {
+    const std::size_t i = prefix_.size();
+    prefix_.push_back(prefix_[i - 1] + values_[i - 1] * (times_[i] - times_[i - 1]));
+  }
+}
+
+double StepSeries::value_at(double t) const {
+  util::require(t >= times_.front(), "StepSeries::value_at before start of series");
+  return values_[segment_index(t)];
 }
 
 double StepSeries::integral(double t0, double t1) const {
   util::require(t1 >= t0, "StepSeries::integral needs t1 >= t0");
   util::require(t0 >= times_.front(), "StepSeries::integral before start of series");
   if (t0 == t1) return 0.0;
+  if (t0 == times_.front()) {
+    // Start-anchored: prefix area of every whole segment before t1 plus the
+    // partial tail. The prefix accumulates segments left to right, so this
+    // equals the naive scan bit for bit at O(log n).
+    const std::size_t index = segment_index(t1);
+    ensure_prefix(index);
+    return prefix_[index] + values_[index] * (t1 - times_[index]);
+  }
+  // Mid-range: exact sequential scan over just the segments in [t0, t1].
   double total = 0.0;
-  // Locate the segment containing t0.
-  auto it = std::upper_bound(times_.begin(), times_.end(), t0);
-  auto index = static_cast<std::size_t>(it - times_.begin()) - 1;
+  std::size_t index = segment_index(t0);
   double cursor = t0;
   while (cursor < t1) {
     const double segment_end =

@@ -14,6 +14,15 @@ namespace insomnia::stats {
 /// The series starts at `start_time` with `initial_value`; each `set(t, v)`
 /// records that the value becomes v at time t (t must be non-decreasing
 /// across calls). Queries and integrals are exact.
+///
+/// Query complexity: value_at and start-anchored integrals (t0 == start)
+/// are O(log n) — the latter via a lazily extended prefix sum of segment
+/// areas whose accumulation order matches the naive left-to-right scan bit
+/// for bit. Mid-range integrals scan only the segments inside [t0, t1],
+/// with the t0 lookup served amortized-O(1) by a monotone cursor when
+/// queries move forward in time (the trailing-window load() pattern).
+/// The cursor and prefix cache are mutable: concurrent queries on one
+/// instance are not safe, matching the single-writer usage of the sim.
 class StepSeries {
  public:
   /// Creates a series equal to `initial_value` from `start_time` onward.
@@ -51,8 +60,21 @@ class StepSeries {
   }
 
  private:
+  /// Index i with times_[i] <= t < times_[i+1], via the monotone cursor
+  /// when possible, binary search otherwise.
+  std::size_t segment_index(double t) const;
+
+  /// Extends prefix_ so prefix_[index] is valid.
+  void ensure_prefix(std::size_t index) const;
+
   std::vector<double> times_;   // change instants, non-decreasing
   std::vector<double> values_;  // value from times_[i] until times_[i+1]
+  /// prefix_[i] = exact integral over [times_[0], times_[i]], accumulated
+  /// left to right (the naive scan's addition order). Extended lazily on
+  /// query; entries never change once a segment's width is final.
+  mutable std::vector<double> prefix_;
+  /// Last segment index served; hint for forward-moving queries.
+  mutable std::size_t cursor_ = 0;
 };
 
 /// Element-wise mean of equally-sized vectors (used to average binned series

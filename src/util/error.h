@@ -25,8 +25,21 @@ inline void require(bool condition, const std::string& message) {
   if (!condition) throw InvalidArgument(message);
 }
 
+/// Literal-message overload: hot paths check preconditions millions of
+/// times per simulated day, and the std::string conversion above would
+/// heap-allocate on every *successful* check. With a plain pointer the
+/// message only becomes a string inside the throw.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
 /// Throws InvalidState with `message` unless `condition` holds.
 inline void require_state(bool condition, const std::string& message) {
+  if (!condition) throw InvalidState(message);
+}
+
+/// Literal-message overload; see require(bool, const char*).
+inline void require_state(bool condition, const char* message) {
   if (!condition) throw InvalidState(message);
 }
 

@@ -167,6 +167,62 @@ TEST(FluidNetwork, ValidatesConstruction) {
   EXPECT_THROW(FluidNetwork(sim, {0.0}), util::InvalidArgument);
 }
 
+TEST(FluidNetwork, SparseLargeFlowIdDoesNotBlowUpTheIdMap) {
+  // A trace-supplied id far beyond the number of flows ever added must be
+  // valid — and must not make the dense id vector allocate gigabytes. The
+  // outlier goes to the overflow map; behaviour stays identical.
+  Harness h({1e6});
+  h.net.set_gateway_serving(0, true);
+  const FlowId huge = 1'000'000'000'000ull;  // ~8 TB as a dense vector
+  h.net.add_flow(huge, 0, 0, 125000.0, 1e9);
+  EXPECT_THROW(h.net.add_flow(huge, 0, 0, 1.0, 1e9), util::InvalidArgument);  // duplicate
+  h.net.add_flow(3, 1, 0, 125000.0, 1e9);  // dense id keeps working alongside
+  h.sim.run_until(10.0);
+  ASSERT_TRUE(h.done.count(huge) != 0);
+  EXPECT_NEAR(h.done[huge].duration(), 2.0, 1e-9);  // both shared the link
+  ASSERT_TRUE(h.done.count(3) != 0);
+  // The slot is free again after completion: the id may be reused.
+  h.net.add_flow(huge, 0, 0, 1000.0, 1e9);
+  h.sim.run_until(20.0);
+  EXPECT_EQ(h.net.total_active_flows(), 0);
+}
+
+TEST(FluidNetwork, OverflowIdSurvivesLaterDenseGrowthPastIt) {
+  // Regression: an id stored in the overflow map while it was an outlier
+  // must stay visible after the dense vector later grows past it —
+  // otherwise the flow goes invisible (migrate no-ops, duplicate check
+  // passes) the moment enough dense flows arrive.
+  Harness h({1e9});
+  h.net.set_gateway_serving(0, true);
+  const FlowId outlier = 5000;  // above the fresh network's dense ceiling
+  h.net.add_flow(outlier, 0, 0, 1e9, 1e3);  // slow: stays live throughout
+  // Enough dense flows to raise the ceiling, then one dense id beyond the
+  // outlier so id_to_index_ grows to cover (and shadow) index 5000.
+  for (FlowId id = 0; id < 1300; ++id) h.net.add_flow(id, 1, 0, 1.0, 1e9);
+  h.net.add_flow(5001, 1, 0, 1.0, 1e9);
+  EXPECT_THROW(h.net.add_flow(outlier, 0, 0, 1.0, 1e9), util::InvalidArgument);  // still live
+  h.net.migrate_flow(outlier, 0, 2e9);  // must find the flow, not no-op
+  h.sim.run_until(10.0);
+  ASSERT_TRUE(h.done.count(outlier) != 0);  // finished under the raised cap
+  // After completion the id is reusable exactly once more.
+  h.net.add_flow(outlier, 0, 0, 1.0, 1e9);
+  h.sim.run_until(11.0);
+  EXPECT_EQ(h.net.total_active_flows(), 0);
+}
+
+TEST(FluidNetwork, SparseLargeIdMigratesAndCancels) {
+  Harness h({1e6, 1e6});
+  h.net.set_gateway_serving(0, true);
+  h.net.set_gateway_serving(1, true);
+  const FlowId huge = (1ull << 52) + 7;
+  h.net.add_flow(huge, 0, 0, 250000.0, 1e9);
+  h.sim.at(1.0, [&h, huge] { h.net.migrate_flow(huge, 1, 1e9); });
+  h.sim.run_until(10.0);
+  ASSERT_TRUE(h.done.count(huge) != 0);
+  EXPECT_EQ(h.done[huge].gateway, 1);
+  EXPECT_NO_THROW(h.net.migrate_flow(huge, 0, 1e9));  // done: no-op
+}
+
 TEST(FluidNetwork, ManyFlowsDrainCompletely) {
   Harness h({6e6});
   h.net.set_gateway_serving(0, true);

@@ -1,7 +1,9 @@
 // Model-based stress tests: the event queue against a reference
 // implementation (sorted multimap), under random schedule/cancel/run
 // interleavings.
+#include <algorithm>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -50,27 +52,29 @@ TEST_P(EventQueueModel, MatchesReferenceUnderRandomOps) {
   Random rng(static_cast<std::uint64_t>(GetParam()) * 7);
   EventQueue queue;
   ReferenceQueue reference;
-  std::vector<EventId> live;
-  std::vector<EventId> fired;
+  // The queue's ids encode recycled (slot, generation) pairs, so the two
+  // id spaces differ; `pairs` keeps the correspondence for cancels, and the
+  // scheduled closure records which reference event actually ran.
+  std::vector<std::pair<EventId, EventId>> live;  // (queue id, reference id)
+  EventId last_fired = 0;
 
   for (int step = 0; step < 3000; ++step) {
     const int op = rng.uniform_int(0, 9);
     if (op < 5) {
       // Schedule. Times are drawn coarse so ties are common.
       const double t = static_cast<double>(rng.uniform_int(0, 50));
-      EventId fired_id = 0;
-      const EventId id = queue.schedule(t, [] {});
       const EventId ref_id = reference.schedule(t);
-      ASSERT_EQ(id, ref_id);
-      live.push_back(id);
-      (void)fired_id;
+      const EventId id = queue.schedule(t, [&last_fired, ref_id] { last_fired = ref_id; });
+      ASSERT_NE(id, kInvalidEventId);
+      ASSERT_TRUE(queue.is_pending(id));
+      live.emplace_back(id, ref_id);
     } else if (op < 7 && !live.empty()) {
       // Cancel a random live id (may already have fired).
       const std::size_t pick = static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<int>(live.size()) - 1));
-      const EventId id = live[pick];
+      const auto [id, ref_id] = live[pick];
       const bool a = queue.cancel(id);
-      const bool b = reference.cancel(id);
+      const bool b = reference.cancel(ref_id);
       ASSERT_EQ(a, b) << "cancel divergence on id " << id;
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
     } else if (!queue.empty()) {
@@ -79,11 +83,17 @@ TEST_P(EventQueueModel, MatchesReferenceUnderRandomOps) {
       const auto [ref_t, ref_id] = reference.pop();
       ASSERT_EQ(t, ref_t);
       queue.run_next();
-      live.erase(std::remove(live.begin(), live.end(), ref_id), live.end());
+      ASSERT_EQ(last_fired, ref_id) << "fired a different event than the reference";
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [ref_id = ref_id](const std::pair<EventId, EventId>& p) {
+                                  return p.second == ref_id;
+                                }),
+                 live.end());
     } else {
       ASSERT_TRUE(reference.empty());
     }
     ASSERT_EQ(queue.empty(), reference.empty());
+    ASSERT_EQ(queue.size(), live.size());
   }
   // Drain both; order must match exactly.
   while (!queue.empty()) {
@@ -92,6 +102,7 @@ TEST_P(EventQueueModel, MatchesReferenceUnderRandomOps) {
     const auto [ref_t, ref_id] = reference.pop();
     ASSERT_EQ(t, ref_t);
     queue.run_next();
+    ASSERT_EQ(last_fired, ref_id) << "fired a different event than the reference";
   }
   ASSERT_TRUE(reference.empty());
 }

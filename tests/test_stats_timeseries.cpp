@@ -1,3 +1,7 @@
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sim/random.h"
@@ -80,6 +84,84 @@ TEST(StepSeries, BinnedMeansMatchIntegrals) {
   EXPECT_DOUBLE_EQ(bins[1], 2.0);
   EXPECT_DOUBLE_EQ(bins[2], 4.0);
   EXPECT_DOUBLE_EQ(bins[3], 4.0);
+}
+
+/// Reference implementation: the plain left-to-right segment scan the
+/// prefix-sum path must reproduce bit for bit.
+double naive_value_at(const std::vector<std::pair<double, double>>& points, double t) {
+  double value = points.front().second;
+  for (const auto& [when, v] : points) {
+    if (when <= t) value = v;
+  }
+  return value;
+}
+
+double naive_integral(const std::vector<std::pair<double, double>>& points, double t0,
+                      double t1) {
+  if (t0 == t1) return 0.0;
+  std::size_t index = 0;
+  while (index + 1 < points.size() && points[index + 1].first <= t0) ++index;
+  double total = 0.0;
+  double cursor = t0;
+  while (cursor < t1) {
+    const double segment_end =
+        (index + 1 < points.size()) ? std::min(points[index + 1].first, t1) : t1;
+    total += points[index].second * (segment_end - cursor);
+    cursor = segment_end;
+    ++index;
+  }
+  return total;
+}
+
+TEST(StepSeries, PrefixIntegralMatchesNaiveScanOnRandomSeries) {
+  sim::Random rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    StepSeries s(0.0, rng.uniform(0.0, 10.0));
+    std::vector<std::pair<double, double>> points{{0.0, s.value_at(0.0)}};
+    double t = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      t += rng.exponential(0.5);
+      const double v = static_cast<double>(rng.uniform_int(0, 6));
+      s.set(t, v);
+      // Mirror the series' same-value merge: a skipped duplicate would
+      // otherwise split one segment into two in the reference, changing the
+      // floating-point summation order the comparison pins down.
+      if (v != points.back().second) points.emplace_back(t, v);
+    }
+    // Interleave start-anchored (prefix path), mid-range (sequential path)
+    // and forward-moving window queries (cursor path); every answer must be
+    // bit-identical to the naive scan.
+    double window_start = 0.0;
+    for (int q = 0; q < 120; ++q) {
+      const double hi = rng.uniform(0.0, t + 5.0);
+      ASSERT_EQ(s.integral(0.0, hi), naive_integral(points, 0.0, hi)) << "start-anchored";
+      const double lo = rng.uniform(0.0, hi);
+      ASSERT_EQ(s.integral(lo, hi), naive_integral(points, lo, hi)) << "mid-range";
+      window_start = std::min(window_start + rng.uniform(0.0, 1.0), t);
+      ASSERT_EQ(s.integral(window_start, t), naive_integral(points, window_start, t))
+          << "forward window";
+      ASSERT_EQ(s.value_at(hi), naive_value_at(points, hi)) << "value_at";
+    }
+  }
+}
+
+TEST(StepSeries, PrefixCacheSurvivesZeroWidthOverwriteAndCollapse) {
+  StepSeries s(0.0, 1.0);
+  s.set(10.0, 3.0);
+  // Query first so the prefix cache covers the existing segments.
+  EXPECT_DOUBLE_EQ(s.integral(0.0, 10.0), 10.0);
+  // Zero-width overwrite at the tail, then collapse back to the previous
+  // value: the change point disappears and cached state must follow.
+  s.set(10.0, 1.0);
+  EXPECT_EQ(s.change_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.integral(0.0, 20.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.value_at(15.0), 1.0);
+  // Re-grow past the collapsed instant.
+  s.set(30.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.integral(0.0, 40.0), 30.0 + 50.0);
+  // Backward query after forward ones: the cursor is only a hint.
+  EXPECT_DOUBLE_EQ(s.integral(0.0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.0), 1.0);
 }
 
 TEST(ElementwiseMean, Averages) {
