@@ -22,8 +22,9 @@ int main(int argc, char** argv) {
 
   const ScenarioConfig scenario = bench::scenario_from_args(argc, argv);
   const int runs = bench::runs_from_env(3);
+  const SchemeSpec& scheme = bench::scheme_or("bh2-kswitch");
   exec::SweepRunner runner;
-  std::cout << "(" << runs << " paired runs)\n\n";
+  std::cout << "(" << runs << " paired runs, user side: " << scheme.display << ")\n\n";
 
   struct Config {
     std::string label;
@@ -63,8 +64,8 @@ int main(int argc, char** argv) {
           trace::SyntheticCrawdadGenerator(shaped.traffic).generate(trace_rng);
       const RunMetrics base =
           run_scheme(shaped, topology, flows, SchemeKind::kNoSleep, 1);
-      const RunMetrics m = run_bh2_with_fabric(shaped, topology, flows, config.mode,
-                                               config.switch_size, 500 + run);
+      const RunMetrics m = run_scheme_with_fabric(shaped, topology, flows, scheme,
+                                                  config.mode, config.switch_size, 500 + run);
       return RunRow{savings_fraction(m, base, 0.0, m.duration),
                     isp_share_of_savings(m, base, 0.0, m.duration).value_or(0.0),
                     m.online_cards.mean(11 * 3600.0, 19 * 3600.0)};
@@ -82,5 +83,5 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   bench::compare("claim (§4.2)", "k=4 already close to full switching",
                  "compare the 4-switch and full-switch rows");
-  return 0;
+  return bench::finish();
 }

@@ -18,8 +18,9 @@ int main(int argc, char** argv) {
 
   const ScenarioConfig base_scenario = bench::scenario_from_args(argc, argv);
   const int runs = bench::runs_from_env(2);
+  const SchemeSpec& scheme = bench::scheme_or("bh2-kswitch");
   exec::SweepRunner runner;
-  std::cout << "(" << runs << " paired runs per point)\n";
+  std::cout << "(" << runs << " paired runs per point, scheme " << scheme.display << ")\n";
 
   sim::Random topo_rng(7);
   const auto topology = topo::make_overlap_topology(base_scenario.client_count,
@@ -38,8 +39,7 @@ int main(int argc, char** argv) {
           trace::SyntheticCrawdadGenerator(scenario.traffic).generate(trace_rng);
       const RunMetrics nosleep =
           run_scheme(scenario, topology, flows, SchemeKind::kNoSleep, 1);
-      const RunMetrics m = run_scheme(scenario, topology, flows, SchemeKind::kBh2KSwitch,
-                                      900 + run);
+      const RunMetrics m = run_scheme(scenario, topology, flows, scheme, 900 + run);
       return RunRow{savings_fraction(m, nosleep, 0.0, m.duration),
                     m.online_gateways.mean(11 * 3600.0, 19 * 3600.0),
                     static_cast<double>(m.bh2_moves),
@@ -86,5 +86,5 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   bench::compare("claim (§5.1)", "10%/50% and 150 s balance convergence vs stability",
                  "paper rows should be at or near the savings/oscillation sweet spot");
-  return 0;
+  return bench::finish();
 }

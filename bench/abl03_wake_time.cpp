@@ -19,8 +19,9 @@ int main(int argc, char** argv) {
 
   const ScenarioConfig base_scenario = bench::scenario_from_args(argc, argv);
   const int runs = bench::runs_from_env(2);
+  const SchemeSpec& scheme = bench::scheme_or("bh2-kswitch");
   exec::SweepRunner runner;
-  std::cout << "(" << runs << " paired runs per point)\n\n";
+  std::cout << "(" << runs << " paired runs per point, vs " << scheme.display << ")\n\n";
   sim::Random topo_rng(7);
   const auto topology = topo::make_overlap_topology(base_scenario.client_count,
                                                     base_scenario.degrees, topo_rng);
@@ -45,8 +46,7 @@ int main(int argc, char** argv) {
           run_scheme(scenario, topology, flows, SchemeKind::kNoSleep, 1);
       const RunMetrics soi = run_scheme(scenario, topology, flows, SchemeKind::kSoi,
                                         70 + run);
-      const RunMetrics bh2 = run_scheme(scenario, topology, flows, SchemeKind::kBh2KSwitch,
-                                        80 + run);
+      const RunMetrics bh2 = run_scheme(scenario, topology, flows, scheme, 80 + run);
       auto stalled = [&](const RunMetrics& m) {
         long count = 0;
         for (std::size_t i = 0; i < m.completion_time.size(); ++i) {
@@ -76,5 +76,5 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   bench::compare("expectation", "SoI degrades with slower resync; BH2 largely insulated",
                  "see stall columns");
-  return 0;
+  return bench::finish();
 }

@@ -1,34 +1,147 @@
 // Shared helpers for the figure-regeneration benches: consistent headers,
-// paper-vs-measured rows, environment-controlled run counts, and scenario
-// preset selection (--preset NAME / INSOMNIA_PRESET).
+// paper-vs-measured rows, environment-controlled run counts, scenario
+// preset selection (--preset NAME / INSOMNIA_PRESET), scheme selection from
+// the registry (--scheme NAME / --list-schemes), and a structured mirror of
+// everything a driver prints, written as JSON by --json PATH.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiments.h"
 #include "core/scenario_presets.h"
+#include "core/scheme_registry.h"
 #include "exec/thread_pool.h"
 #include "util/error.h"
+#include "util/json_writer.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace insomnia::bench {
+
+/// Structured mirror of a driver's output: the banner, scalar facts, every
+/// paper-vs-measured comparison row, and any number series the driver adds.
+/// Serialized with stable key order via util::JsonWriter when --json PATH
+/// is given.
+class DriverReport {
+ public:
+  void set_banner(const std::string& id, const std::string& title) {
+    id_ = id;
+    title_ = title;
+  }
+
+  /// Scalar facts in insertion order; last write to a key wins its slot.
+  void set_field(const std::string& key, const std::string& value) {
+    set_encoded(key, '"' + util::json_escape(value) + '"');
+  }
+  void set_field(const std::string& key, double value) {
+    set_encoded(key, util::json_number(value));
+  }
+  void set_field(const std::string& key, long long value) {
+    set_encoded(key, util::json_number(static_cast<std::int64_t>(value)));
+  }
+  void set_field(const std::string& key, unsigned long long value) {
+    set_encoded(key, util::json_number(static_cast<std::uint64_t>(value)));
+  }
+
+  void add_compare(const std::string& what, const std::string& paper,
+                   const std::string& measured) {
+    compares_.push_back({what, paper, measured});
+  }
+
+  void add_series(const std::string& name, std::vector<double> values) {
+    series_.push_back({name, std::move(values)});
+  }
+
+  std::string to_json() const {
+    util::JsonWriter json;
+    json.begin_object();
+    json.field("artefact", id_);
+    json.field("title", title_);
+    for (const auto& [key, encoded] : fields_) json.key(key).raw_value(encoded);
+    json.key("comparisons").begin_array();
+    for (const CompareRow& row : compares_) {
+      json.begin_object();
+      json.field("what", row.what);
+      json.field("paper", row.paper);
+      json.field("measured", row.measured);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("series").begin_object();
+    for (const auto& [name, values] : series_) json.number_array(name, values);
+    json.end_object();
+    json.end_object();
+    return json.str();
+  }
+
+ private:
+  struct CompareRow {
+    std::string what;
+    std::string paper;
+    std::string measured;
+  };
+
+  void set_encoded(const std::string& key, std::string encoded) {
+    for (auto& [existing, value] : fields_) {
+      if (existing == key) {
+        value = std::move(encoded);
+        return;
+      }
+    }
+    fields_.push_back({key, std::move(encoded)});
+  }
+
+  std::string id_;
+  std::string title_;
+  std::vector<std::pair<std::string, std::string>> fields_;  ///< key -> encoded JSON
+  std::vector<CompareRow> compares_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+/// The driver's structured report (every driver has exactly one).
+inline DriverReport& report() {
+  static DriverReport instance;
+  return instance;
+}
+
+namespace detail {
+
+inline std::string& json_path() {
+  static std::string path;
+  return path;
+}
+
+inline const core::SchemeSpec*& scheme_override_slot() {
+  static const core::SchemeSpec* spec = nullptr;
+  return spec;
+}
+
+inline bool& scheme_override_appended_slot() {
+  static bool appended = false;
+  return appended;
+}
+
+}  // namespace detail
 
 /// Prints the standard banner for one regenerated artefact.
 inline void banner(const std::string& id, const std::string& title) {
   std::cout << "==============================================================\n"
             << id << " — " << title << "\n"
             << "==============================================================\n";
+  report().set_banner(id, title);
 }
 
-/// Prints one "paper vs measured" comparison line.
+/// Prints one "paper vs measured" comparison line (mirrored into --json).
 inline void compare(const std::string& what, const std::string& paper,
                     const std::string& measured) {
   std::cout << "  " << what << ": paper " << paper << " | measured " << measured << "\n";
+  report().add_compare(what, paper, measured);
 }
 
 inline std::string pct(double fraction, int decimals = 1) {
@@ -37,6 +150,87 @@ inline std::string pct(double fraction, int decimals = 1) {
 
 inline std::string num(double value, int decimals = 2) {
   return util::format_fixed(value, decimals);
+}
+
+/// The --scheme override, or nullptr when the driver's default applies.
+inline const core::SchemeSpec* scheme_override() { return detail::scheme_override_slot(); }
+
+/// The --json output path ("" when not requested). Most drivers let
+/// finish() write the DriverReport here; drivers whose natural structured
+/// result is something richer (engine01_run's RunReport) write it
+/// themselves.
+inline const std::string& json_path() { return detail::json_path(); }
+
+/// The scheme this driver studies: the --scheme override when given, else
+/// the named registry default. Records the choice in the report.
+inline const core::SchemeSpec& scheme_or(const std::string& default_name) {
+  const core::SchemeSpec& spec =
+      scheme_override() != nullptr ? *scheme_override() : core::find_scheme(default_name);
+  report().set_field("scheme", spec.name);
+  report().set_field("scheme_display", spec.display);
+  return spec;
+}
+
+/// For drivers comparing a fixed paper scheme list: adds the --scheme
+/// override to `schemes` (unless already listed) so it joins the
+/// comparison. "soi" is prepended — it is the Fig. 9b fairness reference
+/// and must run before any fairness-paired scheme — everything else is
+/// appended (after soi, if listed, so the pairing convention holds).
+/// Returns the override, or nullptr when none was given.
+inline const core::SchemeSpec* add_scheme_override(std::vector<std::string>& schemes) {
+  const core::SchemeSpec* spec = scheme_override();
+  if (spec == nullptr) return nullptr;
+  for (const std::string& name : schemes) {
+    if (name == spec->name) return spec;
+  }
+  if (spec->name == "soi") {
+    schemes.insert(schemes.begin(), spec->name);
+  } else {
+    schemes.push_back(spec->name);
+  }
+  detail::scheme_override_appended_slot() = true;
+  return spec;
+}
+
+/// Companion of add_scheme_override: prints (and mirrors into the report)
+/// the override scheme's headline numbers next to the paper schemes the
+/// driver formats by hand. No-op when the override was already part of the
+/// driver's comparison (its numbers are in the driver's own table).
+inline void report_scheme_override(const core::MainExperimentResult& result) {
+  const core::SchemeSpec* spec = scheme_override();
+  if (spec == nullptr || !detail::scheme_override_appended_slot()) return;
+  const core::SchemeOutcome& o = result.outcome(spec->name);
+  std::cout << "\n--scheme " << spec->name << " (" << spec->display << "):\n";
+  compare(spec->name + " day savings", "n/a (--scheme row)", pct(o.day_savings));
+  compare(spec->name + " ISP share", "n/a (--scheme row)", pct(o.day_isp_share));
+  compare(spec->name + " peak online gateways", "n/a (--scheme row)",
+          num(o.peak_online_gateways, 1));
+  compare(spec->name + " wake events/run", "n/a (--scheme row)", num(o.wake_events, 0));
+}
+
+/// For artefacts with no sleep scheme in them (trace/PHY figures): tell the
+/// user a --scheme override cannot change anything rather than silently
+/// ignoring it.
+inline void note_scheme_not_applicable() {
+  if (scheme_override() != nullptr) {
+    std::cout << "(note: --scheme " << scheme_override()->name
+              << " has no effect — this artefact involves no sleep scheme)\n";
+  }
+}
+
+/// Writes the structured report when --json PATH was given. Every driver
+/// returns finish() (or finish(code)) from main so the flag works uniformly.
+inline int finish(int code = 0) {
+  const std::string& path = detail::json_path();
+  if (path.empty() || code != 0) return code;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return 1;
+  }
+  out << report().to_json() << "\n";
+  std::cout << "\nwrote " << path << "\n";
+  return 0;
 }
 
 /// Validates INSOMNIA_THREADS with the drivers' CLI error convention and
@@ -58,19 +252,40 @@ inline int threads_from_env_or_exit() {
 ///     util::parse_positive_int and exported as INSOMNIA_THREADS (overriding
 ///     any inherited value) so it reaches exec::default_thread_count() in
 ///     every layer without per-driver plumbing,
-///   * `--list-presets` — prints the scenario registry and exits 0.
+///   * `--scheme NAME` / `--scheme=NAME` — selects a registered scheme; an
+///     unknown name throws util::InvalidArgument listing the valid ones,
+///   * `--json PATH` / `--json=PATH` — where finish() writes the report,
+///   * `--list-presets` — prints the scenario registry and exits 0,
+///   * `--list-schemes` — prints the scheme registry and exits 0.
 /// Malformed values throw util::InvalidArgument (callers print and exit 1).
 inline bool handle_common_flag(int argc, char** argv, int& i) {
   const std::string arg = argv[i];
+  const auto flag_value = [&](const char* flag) -> std::string {
+    if (i + 1 >= argc) throw util::InvalidArgument(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
   std::string threads_value;
   if (arg == "--threads") {
-    if (i + 1 >= argc) throw util::InvalidArgument("--threads needs a count");
-    threads_value = argv[++i];
+    threads_value = flag_value("--threads");
   } else if (util::starts_with(arg, "--threads=")) {
     threads_value = arg.substr(10);
+  } else if (arg == "--scheme" || util::starts_with(arg, "--scheme=")) {
+    const std::string name =
+        arg == "--scheme" ? flag_value("--scheme") : arg.substr(9);
+    detail::scheme_override_slot() = &core::find_scheme(name);
+    return true;
+  } else if (arg == "--json" || util::starts_with(arg, "--json=")) {
+    detail::json_path() = arg == "--json" ? flag_value("--json") : arg.substr(7);
+    util::require(!detail::json_path().empty(), "--json needs a non-empty path");
+    return true;
   } else if (arg == "--list-presets") {
     for (const core::ScenarioPreset& preset : core::scenario_presets()) {
       std::cout << preset.name << " — " << preset.summary << "\n";
+    }
+    std::exit(0);
+  } else if (arg == "--list-schemes") {
+    for (const core::SchemeSpec& spec : core::scheme_registry().specs()) {
+      std::cout << spec.name << " — " << spec.display << " — " << spec.summary << "\n";
     }
     std::exit(0);
   } else {
@@ -83,11 +298,35 @@ inline bool handle_common_flag(int argc, char** argv, int& i) {
   return true;
 }
 
+/// The usage tail shared by every driver's error message.
+inline const char* common_usage() {
+  return " [--preset NAME] [--scheme NAME] [--threads N] [--json PATH]"
+         " [--list-presets] [--list-schemes]";
+}
+
+/// For drivers without driver-specific flags or a scenario to swap:
+/// accepts only the shared flags; anything else (including --preset) prints
+/// the problem and exits 1.
+inline void parse_common_args_or_exit(int argc, char** argv) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (handle_common_flag(argc, argv, i)) continue;
+      throw util::InvalidArgument(
+          "unknown argument \"" + std::string(argv[i]) + "\"; usage: " + argv[0] +
+          " [--scheme NAME] [--threads N] [--json PATH] [--list-presets] [--list-schemes]");
+    }
+    threads_from_env_or_exit();
+  } catch (const util::InvalidArgument& error) {
+    std::cerr << error.what() << "\n";
+    std::exit(1);
+  }
+}
+
 /// Resolves the scenario every driver simulates: `--preset NAME` (or
 /// `--preset=NAME`) on the command line wins, then the INSOMNIA_PRESET
 /// environment variable, then the paper default. Prints which preset is in
-/// effect. Also accepts the shared flags (`--threads N`, `--list-presets`).
-/// Any other argument, an unknown preset name, or a malformed
+/// effect. Also accepts the shared flags (see handle_common_flag). Any
+/// other argument, an unknown preset or scheme name, or a malformed
 /// INSOMNIA_THREADS prints the problem and exits 1 — a typo must fail fast,
 /// not silently run a different experiment.
 inline core::ScenarioConfig scenario_from_args(int argc, char** argv) {
@@ -103,14 +342,14 @@ inline core::ScenarioConfig scenario_from_args(int argc, char** argv) {
       } else if (util::starts_with(arg, "--preset=")) {
         selected = &core::find_scenario_preset(arg.substr(9));
       } else {
-        throw util::InvalidArgument(
-            "unknown argument \"" + arg + "\"; usage: " + argv[0] +
-            " [--preset NAME] [--threads N] [--list-presets]");
+        throw util::InvalidArgument("unknown argument \"" + arg + "\"; usage: " + argv[0] +
+                                    common_usage());
       }
     }
     threads_from_env_or_exit();
     if (selected == nullptr) selected = &core::scenario_preset_from_env();
     std::cout << "scenario preset: " << selected->name << " — " << selected->summary << "\n";
+    report().set_field("preset", selected->name);
     return selected->scenario;
   } catch (const util::InvalidArgument& error) {
     std::cerr << error.what() << "\n";
@@ -122,7 +361,9 @@ inline core::ScenarioConfig scenario_from_args(int argc, char** argv) {
 /// INSOMNIA_RUNS prints the problem and exits 1 instead of terminating.
 inline int runs_from_env(int fallback) {
   try {
-    return core::runs_from_env(fallback);
+    const int runs = core::runs_from_env(fallback);
+    report().set_field("runs", static_cast<long long>(runs));
+    return runs;
   } catch (const util::InvalidArgument& error) {
     std::cerr << error.what() << "\n";
     std::exit(1);

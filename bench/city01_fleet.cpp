@@ -6,7 +6,8 @@
 // constant-based ~33 TWh/yr back-of-the-envelope.
 //
 // Knobs: --size N (neighbourhoods), --mix name=w[,name=w...], --seed S,
-// --threads N, --list-presets; INSOMNIA_THREADS applies as everywhere.
+// --scheme NAME (any registered scheme), --json PATH, --threads N,
+// --list-presets, --list-schemes; INSOMNIA_THREADS applies as everywhere.
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -65,9 +66,11 @@ city::CityConfig config_from_args(int argc, char** argv) {
     } else {
       throw util::InvalidArgument(
           "unknown argument \"" + arg + "\"; usage: " + argv[0] +
-          " [--size N] [--mix name=w,...] [--seed S] [--threads N] [--list-presets]");
+          " [--size N] [--mix name=w,...] [--seed S] [--scheme NAME] [--json PATH]"
+          " [--threads N] [--list-presets] [--list-schemes]");
     }
   }
+  config.scheme = bench::scheme_or(config.scheme).name;
   city::resolve_mix(config);  // structural + registry validation, fails fast
   return config;
 }
@@ -88,7 +91,7 @@ int main(int argc, char** argv) {
   bench::threads_from_env_or_exit();
 
   std::cout << config.neighbourhoods << " neighbourhoods, seed " << config.seed
-            << ", scheme " << core::scheme_name(config.scheme) << ", mix:";
+            << ", scheme " << core::find_scheme(config.scheme).display << ", mix:";
   for (const city::CityMixComponent& component : config.mix) {
     std::cout << " " << component.preset << "=" << bench::num(component.weight, 2);
   }
@@ -149,5 +152,14 @@ int main(int argc, char** argv) {
   std::cout << "  simulated per-subscriber draw: household "
             << bench::num(simulated.household_watts) << " W, ISP "
             << bench::num(simulated.isp_watts_per_subscriber) << " W\n";
-  return 0;
+
+  bench::report().set_field("neighbourhoods", static_cast<long long>(config.neighbourhoods));
+  bench::report().set_field("seed", static_cast<unsigned long long>(config.seed));
+  bench::report().set_field("fleet_savings", metrics.savings_fraction());
+  bench::report().set_field("fleet_savings_ci95", metrics.savings_ci95_halfwidth());
+  bench::report().set_field("isp_share", metrics.isp_share_of_savings());
+  bench::report().set_field("peak_online_gateways", metrics.peak_online_gateways());
+  bench::report().set_field("annual_savings_twh_simulated",
+                            core::annual_savings_twh(simulated));
+  return bench::finish();
 }

@@ -24,6 +24,7 @@
 #include "core/scenario_presets.h"
 #include "core/schemes.h"
 #include "sim/random.h"
+#include "util/json_writer.h"
 #include "topology/access_topology.h"
 #include "trace/synthetic_crawdad.h"
 #include "util/strings.h"
@@ -53,18 +54,20 @@ double wall_ms_per_day(const PresetResult& r) {
   return r.days > 0 ? r.wall_ms / static_cast<double>(r.days) : 0.0;
 }
 
-void write_result(std::ostream& out, const PresetResult& r, int indent) {
-  const std::string pad(static_cast<std::size_t>(indent), ' ');
-  out << pad << "\"days\": " << r.days << ",\n"
-      << pad << "\"events\": " << r.events << ",\n"
-      << pad << "\"flows\": " << r.flows << ",\n"
-      << pad << "\"wall_ms\": " << util::format_fixed(r.wall_ms, 3) << ",\n"
-      << pad << "\"wall_ms_per_day\": " << util::format_fixed(wall_ms_per_day(r), 3) << ",\n"
-      << pad << "\"events_per_sec\": " << util::format_fixed(events_per_sec(r), 1) << ",\n"
-      << pad << "\"flows_per_sec\": " << util::format_fixed(flows_per_sec(r), 1) << "\n";
+void write_result(util::JsonWriter& json, const PresetResult& r) {
+  json.begin_object();
+  json.field("days", r.days);
+  json.field("events", r.events);
+  json.field("flows", r.flows);
+  json.field("wall_ms", r.wall_ms);
+  json.field("wall_ms_per_day", wall_ms_per_day(r));
+  json.field("events_per_sec", events_per_sec(r));
+  json.field("flows_per_sec", flows_per_sec(r));
+  json.end_object();
 }
 
-PresetResult run_preset(const core::ScenarioPreset& preset, int runs, std::uint64_t seed) {
+PresetResult run_preset(const core::ScenarioPreset& preset, const core::SchemeSpec& scheme,
+                        int runs, std::uint64_t seed) {
   PresetResult result;
   result.name = preset.name;
   const core::ScenarioConfig& scenario = preset.scenario;
@@ -82,10 +85,10 @@ PresetResult run_preset(const core::ScenarioPreset& preset, int runs, std::uint6
 
     const auto t0 = std::chrono::steady_clock::now();
     const core::RunMetrics baseline =
-        run_scheme(scenario, topology, flows, core::SchemeKind::kNoSleep,
+        run_scheme(scenario, topology, flows, core::find_scheme("no-sleep"),
                    sim::Random::substream_seed(seed, run, 2));
     const core::RunMetrics bh2 =
-        run_scheme(scenario, topology, flows, core::SchemeKind::kBh2KSwitch,
+        run_scheme(scenario, topology, flows, scheme,
                    sim::Random::substream_seed(seed, run, 100));
     const auto t1 = std::chrono::steady_clock::now();
 
@@ -119,7 +122,8 @@ int main(int argc, char** argv) {
       } else {
         throw util::InvalidArgument(
             "unknown argument \"" + arg + "\"; usage: " + argv[0] +
-            " [--runs N] [--smoke] [--out PATH] [--threads N] [--list-presets]");
+            " [--runs N] [--smoke] [--out PATH] [--scheme NAME] [--json PATH]"
+            " [--threads N] [--list-presets] [--list-schemes]");
       }
     }
   } catch (const util::InvalidArgument& error) {
@@ -129,12 +133,14 @@ int main(int argc, char** argv) {
 
   bench::banner("BENCH day_throughput",
                 "paired no-sleep + BH2 day wall-clock across presets");
-  std::cout << runs << " paired day(s) per preset, single worker\n\n";
+  const core::SchemeSpec& scheme = bench::scheme_or("bh2-kswitch");
+  std::cout << runs << " paired day(s) per preset (no-sleep + " << scheme.display
+            << "), single worker\n\n";
 
   const std::uint64_t seed = 42;
   std::vector<PresetResult> results;
   for (const core::ScenarioPreset& preset : core::scenario_presets()) {
-    results.push_back(run_preset(preset, runs, seed));
+    results.push_back(run_preset(preset, scheme, runs, seed));
   }
 
   util::TextTable table;
@@ -162,21 +168,25 @@ int main(int argc, char** argv) {
     std::cerr << "error: cannot write " << out_path << "\n";
     return 1;
   }
-  out << "{\n"
-      << "  \"benchmark\": \"day_throughput\",\n"
-      << "  \"schemes\": [\"no-sleep\", \"bh2-kswitch\"],\n"
-      << "  \"runs_per_preset\": " << runs << ",\n"
-      << "  \"presets\": {\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    out << "    \"" << results[i].name << "\": {\n";
-    write_result(out, results[i], 6);
-    out << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("benchmark", "day_throughput");
+  json.key("schemes").begin_array();
+  json.value("no-sleep").value(scheme.name);
+  json.end_array();
+  json.field("runs_per_preset", runs);
+  json.key("presets").begin_object();
+  for (const PresetResult& r : results) {
+    json.key(r.name);
+    write_result(json, r);
   }
-  out << "  },\n"
-      << "  \"total\": {\n";
-  write_result(out, total, 4);
-  out << "  }\n"
-      << "}\n";
+  json.end_object();
+  json.key("total");
+  write_result(json, total);
+  json.end_object();
+  out << json.str() << "\n";
   std::cout << "\nwrote " << out_path << "\n";
-  return 0;
+  bench::report().set_field("events_per_sec_total", events_per_sec(total));
+  bench::report().set_field("wall_ms_per_day_total", wall_ms_per_day(total));
+  return bench::finish();
 }

@@ -1,0 +1,98 @@
+// The unified Engine CLI (not a paper artefact): one declarative RunSpec —
+// scenario preset or recorded trace, registered scheme, seed, repeats,
+// threads — run end to end, summarised on stdout, and dumped as the
+// structured RunReport JSON with --json. This is the one-stop entry point
+// for studying any registered scheme (paper or beyond) without touching a
+// figure driver.
+//
+// Usage: engine01_run [--preset NAME] [--scheme NAME] [--runs N] [--seed S]
+//                     [--bins N] [--trace PATH] [--threads N] [--json PATH]
+//                     [--list-presets] [--list-schemes]
+#include <iostream>
+#include <fstream>
+#include <string>
+
+#include "bench_common.h"
+#include "core/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace insomnia;
+  using namespace insomnia::core;
+
+  RunSpec spec;
+  spec.runs = 3;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (bench::handle_common_flag(argc, argv, i)) continue;
+      const std::string arg = argv[i];
+      const auto value = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc) throw util::InvalidArgument(std::string(flag) + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--preset") {
+        spec.preset = value("--preset");
+      } else if (arg == "--runs") {
+        const auto parsed = util::parse_positive_int(value("--runs"));
+        util::require(parsed.has_value(), "--runs must be a positive integer");
+        spec.runs = *parsed;
+      } else if (arg == "--seed") {
+        const auto parsed = util::parse_uint64(value("--seed"));
+        util::require(parsed.has_value(), "--seed must be an unsigned 64-bit integer");
+        spec.seed = *parsed;
+      } else if (arg == "--bins") {
+        const auto parsed = util::parse_positive_int(value("--bins"));
+        util::require(parsed.has_value(), "--bins must be a positive integer");
+        spec.bins = static_cast<std::size_t>(*parsed);
+      } else if (arg == "--trace") {
+        spec.trace_file = value("--trace");
+      } else {
+        throw util::InvalidArgument(
+            "unknown argument \"" + arg + "\"; usage: " + argv[0] +
+            " [--preset NAME] [--scheme NAME] [--runs N] [--seed S] [--bins N]"
+            " [--trace PATH] [--threads N] [--json PATH]"
+            " [--list-presets] [--list-schemes]");
+      }
+    }
+    if (bench::scheme_override() != nullptr) spec.scheme = bench::scheme_override()->name;
+    spec.threads = bench::threads_from_env_or_exit();
+
+    bench::banner("Engine run", "declarative RunSpec -> structured RunReport");
+    const RunReport report = Engine().run(spec);
+
+    std::cout << "scheme  : " << report.scheme << " (" << report.scheme_display << ")\n"
+              << "scenario: " << report.preset << " — " << report.clients << " clients, "
+              << report.gateways << " gateways\n"
+              << "trace   : "
+              << (report.trace_file.empty() ? std::string("synthetic (per-run substreams)")
+                                            : report.trace_file)
+              << "\n"
+              << "seed " << report.seed << ", " << report.runs << " paired day(s), "
+              << report.bins << " bins\n\n";
+
+    util::TextTable table;
+    table.set_header({"day", "savings", "ISP share", "peak online gw", "wakes", "flows"});
+    for (std::size_t d = 0; d < report.days.size(); ++d) {
+      const EngineDay& day = report.days[d];
+      table.add_row({std::to_string(d), bench::pct(day.savings), bench::pct(day.isp_share),
+                     bench::num(day.peak_online_gateways, 1),
+                     std::to_string(day.wake_events), std::to_string(day.flows)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\naggregate: " << bench::pct(report.day_savings) << " savings, "
+              << bench::pct(report.day_isp_share) << " ISP share, "
+              << bench::num(report.peak_online_gateways, 1) << " peak online gateways, "
+              << bench::num(report.mean_wake_events, 0) << " wakes/day\n";
+
+    if (!bench::json_path().empty()) {
+      std::ofstream out(bench::json_path());
+      util::require(static_cast<bool>(out), "cannot write " + bench::json_path());
+      out << report.to_json() << "\n";
+      std::cout << "wrote " << bench::json_path() << "\n";
+    }
+  } catch (const util::InvalidArgument& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

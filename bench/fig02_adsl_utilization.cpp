@@ -8,7 +8,8 @@
 #include "sim/random.h"
 #include "trace/adsl_utilization.h"
 
-int main() {
+int main(int argc, char** argv) {
+  insomnia::bench::parse_common_args_or_exit(argc, argv);
   using namespace insomnia;
   bench::banner("Fig. 2", "daily average and median ADSL link utilization");
 
@@ -39,5 +40,6 @@ int main() {
                                     std::max_element(day.downlink.average.begin(),
                                                      day.downlink.average.end()) -
                                     day.downlink.average.begin())));
-  return 0;
+  insomnia::bench::note_scheme_not_applicable();
+  return insomnia::bench::finish();
 }

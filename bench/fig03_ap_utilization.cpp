@@ -10,7 +10,8 @@
 #include "trace/synthetic_crawdad.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
+  insomnia::bench::parse_common_args_or_exit(argc, argv);
   using namespace insomnia;
   bench::banner("Fig. 3", "average AP downlink utilization at 6 Mbps backhaul");
 
@@ -41,5 +42,6 @@ int main() {
   bench::compare("peak average utilization", "~7%", bench::pct(peak));
   bench::compare("peak hour", "15-17h", std::to_string(peak_hour) + "h");
   bench::compare("night utilization", "<1.5%", bench::pct(mean_util[3]));
-  return 0;
+  insomnia::bench::note_scheme_not_applicable();
+  return insomnia::bench::finish();
 }

@@ -11,7 +11,8 @@
 #include "trace/synthetic_crawdad.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
+  insomnia::bench::parse_common_args_or_exit(argc, argv);
   using namespace insomnia;
   bench::banner("Fig. 4", "share of idle time by inter-packet gap size, peak hour");
 
@@ -42,5 +43,6 @@ int main() {
       "ideal SoI sleep bound at peak hour", "~20%",
       bench::pct(trace::soi_sleep_bound(packets, homes, 40, util::hours(16.0),
                                         util::hours(17.0), 60.0)));
-  return 0;
+  insomnia::bench::note_scheme_not_applicable();
+  return insomnia::bench::finish();
 }

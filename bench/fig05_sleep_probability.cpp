@@ -12,7 +12,8 @@
 #include "dslam/sleep_model.h"
 #include "sim/random.h"
 
-int main() {
+int main(int argc, char** argv) {
+  insomnia::bench::parse_common_args_or_exit(argc, argv);
   using namespace insomnia;
   bench::banner("Fig. 5", "P{line card l sleeps} under k-switching, m=24");
 
@@ -41,5 +42,6 @@ int main() {
   std::cout << "\n";
   bench::compare("shape", "even k=4/8 switches sleep a good number of cards",
                  "see expected sleeping cards above");
-  return 0;
+  insomnia::bench::note_scheme_not_applicable();
+  return insomnia::bench::finish();
 }

@@ -16,17 +16,20 @@ int main(int argc, char** argv) {
   config.scenario = bench::scenario_from_args(argc, argv);
   config.runs = bench::runs_from_env(3);
   config.bins = 24;  // hourly resolution
-  config.schemes = {SchemeKind::kSoi, SchemeKind::kSoiKSwitch, SchemeKind::kBh2KSwitch,
-                    SchemeKind::kOptimal};
+  config.schemes = {"soi", "soi-kswitch", "bh2-kswitch", "optimal"};
+  bench::add_scheme_override(config.schemes);
   std::cout << "(" << config.runs << " paired runs; set INSOMNIA_RUNS to change)\n\n";
   const MainExperimentResult result = run_main_experiment(config);
 
   util::TextTable table;
   table.set_header({"hour", "Optimal %", "SoI %", "SoI+k-switch %", "BH2+k-switch %"});
-  const auto& optimal = result.outcome(SchemeKind::kOptimal);
-  const auto& soi = result.outcome(SchemeKind::kSoi);
-  const auto& soik = result.outcome(SchemeKind::kSoiKSwitch);
-  const auto& bh2k = result.outcome(SchemeKind::kBh2KSwitch);
+  const auto& optimal = result.outcome("optimal");
+  const auto& soi = result.outcome("soi");
+  const auto& soik = result.outcome("soi-kswitch");
+  const auto& bh2k = result.outcome("bh2-kswitch");
+  for (const SchemeOutcome& outcome : result.schemes) {
+    bench::report().add_series(outcome.scheme + "_savings", outcome.savings);
+  }
   for (std::size_t bin = 0; bin < config.bins; ++bin) {
     table.add_row({std::to_string(bin), bench::num(optimal.savings[bin] * 100, 1),
                    bench::num(soi.savings[bin] * 100, 1),
@@ -54,5 +57,6 @@ int main(int argc, char** argv) {
   bench::compare("off-peak (2-6 h) schemes", ">60%",
                  bench::pct(window_mean(soik, 2, 6)) + " (SoI+k), " +
                      bench::pct(window_mean(bh2k, 2, 6)) + " (BH2+k)");
-  return 0;
+  bench::report_scheme_override(result);
+  return bench::finish();
 }

@@ -15,15 +15,18 @@ int main(int argc, char** argv) {
   config.scenario = bench::scenario_from_args(argc, argv);
   config.runs = bench::runs_from_env(3);
   config.bins = 24;
-  config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch,
-                    SchemeKind::kBh2NoBackupKSwitch, SchemeKind::kOptimal};
+  config.schemes = {"soi", "bh2-kswitch", "bh2-nobackup-kswitch", "optimal"};
+  bench::add_scheme_override(config.schemes);
   std::cout << "(" << config.runs << " paired runs)\n\n";
   const MainExperimentResult result = run_main_experiment(config);
 
-  const auto& soi = result.outcome(SchemeKind::kSoi);
-  const auto& bh2 = result.outcome(SchemeKind::kBh2KSwitch);
-  const auto& bh2nb = result.outcome(SchemeKind::kBh2NoBackupKSwitch);
-  const auto& optimal = result.outcome(SchemeKind::kOptimal);
+  const auto& soi = result.outcome("soi");
+  const auto& bh2 = result.outcome("bh2-kswitch");
+  const auto& bh2nb = result.outcome("bh2-nobackup-kswitch");
+  const auto& optimal = result.outcome("optimal");
+  for (const SchemeOutcome& outcome : result.schemes) {
+    bench::report().add_series(outcome.scheme + "_online_gateways", outcome.online_gateways);
+  }
 
   util::TextTable table;
   table.set_header({"hour", "SoI", "BH2", "BH2 w/o backup", "Optimal"});
@@ -49,5 +52,6 @@ int main(int argc, char** argv) {
   bench::compare("BH2 assignment changes per run", "low (oscillation-free)",
                  bench::num(bh2.bh2_moves, 0) + " moves, " +
                      bench::num(bh2.bh2_home_returns, 0) + " home returns");
-  return 0;
+  bench::report_scheme_override(result);
+  return bench::finish();
 }

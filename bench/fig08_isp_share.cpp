@@ -14,15 +14,18 @@ int main(int argc, char** argv) {
   config.scenario = bench::scenario_from_args(argc, argv);
   config.runs = bench::runs_from_env(3);
   config.bins = 24;
-  config.schemes = {SchemeKind::kSoi, SchemeKind::kSoiKSwitch, SchemeKind::kBh2KSwitch,
-                    SchemeKind::kOptimal};
+  config.schemes = {"soi", "soi-kswitch", "bh2-kswitch", "optimal"};
+  bench::add_scheme_override(config.schemes);
   std::cout << "(" << config.runs << " paired runs)\n\n";
   const MainExperimentResult result = run_main_experiment(config);
 
-  const auto& soi = result.outcome(SchemeKind::kSoi);
-  const auto& soik = result.outcome(SchemeKind::kSoiKSwitch);
-  const auto& bh2k = result.outcome(SchemeKind::kBh2KSwitch);
-  const auto& optimal = result.outcome(SchemeKind::kOptimal);
+  const auto& soi = result.outcome("soi");
+  const auto& soik = result.outcome("soi-kswitch");
+  const auto& bh2k = result.outcome("bh2-kswitch");
+  const auto& optimal = result.outcome("optimal");
+  for (const SchemeOutcome& outcome : result.schemes) {
+    bench::report().add_series(outcome.scheme + "_isp_share", outcome.isp_share);
+  }
 
   util::TextTable table;
   table.set_header({"hour", "Optimal %", "SoI+k-switch %", "BH2+k-switch %", "SoI %"});
@@ -39,5 +42,6 @@ int main(int argc, char** argv) {
   bench::compare("BH2+k-switch day-average ISP share", "~30%", bench::pct(bh2k.day_isp_share));
   bench::compare("SoI saves little for the ISP at peak", "near zero",
                  bench::pct(soi.isp_share[15]) + " at 15h");
-  return 0;
+  bench::report_scheme_override(result);
+  return bench::finish();
 }

@@ -15,21 +15,26 @@ int main(int argc, char** argv) {
   MainExperimentConfig config;
   config.scenario = bench::scenario_from_args(argc, argv);
   config.runs = bench::runs_from_env(3);
-  config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch,
-                    SchemeKind::kBh2NoBackupKSwitch};
+  config.schemes = {"soi", "bh2-kswitch", "bh2-nobackup-kswitch"};
+  const core::SchemeSpec* extra = bench::add_scheme_override(config.schemes);
   std::cout << "(" << config.runs << " paired runs)\n\n";
   const MainExperimentResult result = run_main_experiment(config);
 
-  const std::vector<std::pair<std::string, SchemeKind>> rows{
-      {"SoI", SchemeKind::kSoi},
-      {"BH2", SchemeKind::kBh2KSwitch},
-      {"BH2 w/o backup", SchemeKind::kBh2NoBackupKSwitch}};
+  std::vector<std::pair<std::string, std::string>> rows{
+      {"SoI", "soi"},
+      {"BH2", "bh2-kswitch"},
+      {"BH2 w/o backup", "bh2-nobackup-kswitch"}};
+  // no-sleep is the FCT baseline itself — it has no increase samples.
+  if (extra != nullptr && extra->name != "no-sleep" && extra->name != "soi" &&
+      extra->name != "bh2-kswitch" && extra->name != "bh2-nobackup-kswitch") {
+    rows.push_back({extra->display, extra->name});
+  }
 
   util::TextTable table;
   table.set_header({"scheme", "flows affected (> +1%)", "flows slowed > 2x", "p99 increase",
                     "p99.9 increase", "max increase"});
-  for (const auto& [label, kind] : rows) {
-    const auto& fct = result.outcome(kind).fct_increase;
+  for (const auto& [label, name] : rows) {
+    const auto& fct = result.outcome(name).fct_increase;
     const stats::EmpiricalCdf cdf(fct);
     const double affected = 1.0 - cdf.fraction_at_or_below(0.01);
     const double doubled = 1.0 - cdf.fraction_at_or_below(1.0);
@@ -43,11 +48,13 @@ int main(int argc, char** argv) {
 
   std::cout << "\nCDF points (fraction of flows with increase <= x):\n";
   util::TextTable cdf_table;
-  cdf_table.set_header({"increase x", "SoI", "BH2", "BH2 w/o backup"});
+  std::vector<std::string> cdf_header{"increase x"};
+  for (const auto& [label, name] : rows) cdf_header.push_back(label);
+  cdf_table.set_header(std::move(cdf_header));
   for (double x : {0.0, 0.01, 0.1, 0.5, 1.0, 2.0, 4.0, 6.0}) {
     std::vector<std::string> row{bench::pct(x, 0)};
-    for (const auto& [label, kind] : rows) {
-      const stats::EmpiricalCdf cdf(result.outcome(kind).fct_increase);
+    for (const auto& [label, name] : rows) {
+      const stats::EmpiricalCdf cdf(result.outcome(name).fct_increase);
       row.push_back(bench::num(cdf.fraction_at_or_below(x), 4));
     }
     cdf_table.add_row(std::move(row));
@@ -58,5 +65,6 @@ int main(int argc, char** argv) {
   bench::compare("SoI affected flows", "~8%, up to 7x stretch", "see table");
   bench::compare("BH2 affected flows", "~2%, less heavily", "see table");
   bench::compare("backup helps slightly", "yes", "compare BH2 rows");
-  return 0;
+  bench::report_scheme_override(result);
+  return bench::finish();
 }

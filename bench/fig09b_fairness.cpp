@@ -16,13 +16,13 @@ int main(int argc, char** argv) {
   config.scenario = bench::scenario_from_args(argc, argv);
   config.runs = bench::runs_from_env(3);
   // SoI must be listed before the BH2 schemes (it is the reference).
-  config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch,
-                    SchemeKind::kBh2NoBackupKSwitch};
+  config.schemes = {"soi", "bh2-kswitch", "bh2-nobackup-kswitch"};
+  bench::add_scheme_override(config.schemes);
   std::cout << "(" << config.runs << " paired runs)\n\n";
   const MainExperimentResult result = run_main_experiment(config);
 
-  const auto& bh2 = result.outcome(SchemeKind::kBh2KSwitch).online_time_variation;
-  const auto& bh2nb = result.outcome(SchemeKind::kBh2NoBackupKSwitch).online_time_variation;
+  const auto& bh2 = result.outcome("bh2-kswitch").online_time_variation;
+  const auto& bh2nb = result.outcome("bh2-nobackup-kswitch").online_time_variation;
 
   const stats::EmpiricalCdf cdf_bh2(bh2);
   const stats::EmpiricalCdf cdf_nb(bh2nb);
@@ -47,5 +47,6 @@ int main(int argc, char** argv) {
   bench::compare("w/o backup is less fair", "more extremes",
                  bench::pct(nb_always_asleep) + " fully asleep, " + bench::pct(nb_increased) +
                      " increased");
-  return 0;
+  bench::report_scheme_override(result);
+  return bench::finish();
 }

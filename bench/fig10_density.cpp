@@ -14,9 +14,10 @@ int main(int argc, char** argv) {
 
   const ScenarioConfig scenario = bench::scenario_from_args(argc, argv);
   const int runs = bench::runs_from_env(2);
-  std::cout << "(" << runs << " runs per density level)\n\n";
+  const SchemeSpec& scheme = bench::scheme_or("bh2-kswitch");
+  std::cout << "(" << runs << " runs per density level, scheme " << scheme.display << ")\n\n";
   const std::vector<double> densities{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  const auto points = run_density_sweep(scenario, densities, runs, 2026);
+  const auto points = run_density_sweep(scenario, densities, runs, 2026, 0, scheme.name);
 
   util::TextTable table;
   table.set_header({"mean available gateways", "mean online gateways (peak)"});
@@ -33,5 +34,9 @@ int main(int argc, char** argv) {
                  bench::num(points[1].mean_online_gateways, 1));
   bench::compare("monotone decrease with density", "yes",
                  bench::num(points.back().mean_online_gateways, 1) + " at density 10");
-  return 0;
+  std::vector<double> online;
+  for (const auto& point : points) online.push_back(point.mean_online_gateways);
+  bench::report().add_series("mean_available_gateways", densities);
+  bench::report().add_series("mean_online_gateways", online);
+  return bench::finish();
 }

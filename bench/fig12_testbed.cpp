@@ -12,15 +12,11 @@
 int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
-  if (argc > 1) {
-    // The testbed replays a fixed physical deployment (9 APs, 3 Mbps
-    // lines) — there is no neighbourhood scenario to swap via --preset.
-    std::cerr << "unknown argument \"" << argv[1] << "\"; " << argv[0]
-              << " takes no arguments (the §5.3 testbed is a fixed deployment)\n";
-    return 1;
-  }
+  // The testbed replays a fixed physical deployment (9 APs, 3 Mbps lines)
+  // — there is no neighbourhood scenario to swap via --preset; --scheme
+  // swaps the policy under test (deployed: BH2 without backup).
+  bench::parse_common_args_or_exit(argc, argv);
   bench::banner("Fig. 12", "testbed replay: online APs, 15:00-15:30");
-  bench::threads_from_env_or_exit();  // unused here, but typos still fail fast
   if (std::getenv("INSOMNIA_PRESET") != nullptr) {
     // Visible, not fatal: batch loops over all drivers with a preset
     // exported should still include the testbed, but never misattribute
@@ -30,11 +26,14 @@ int main(int argc, char** argv) {
 
   TestbedConfig config;
   config.runs = bench::runs_from_env(10);
-  std::cout << "(" << config.runs << " randomised replays)\n\n";
+  const SchemeSpec& scheme = bench::scheme_or(config.scheme);
+  config.scheme = scheme.name;
+  std::cout << "(" << config.runs << " randomised replays, " << scheme.display
+            << " vs SoI)\n\n";
   const TestbedResult result = run_testbed_emulation(config);
 
   util::TextTable table;
-  table.set_header({"minute", "SoI online APs", "BH2 online APs"});
+  table.set_header({"minute", "SoI online APs", scheme.display + " online APs"});
   for (std::size_t minute = 0; minute < result.soi_online.size(); ++minute) {
     table.add_row({std::to_string(minute + 1), bench::num(result.soi_online[minute], 2),
                    bench::num(result.bh2_online[minute], 2)});
@@ -49,5 +48,7 @@ int main(int argc, char** argv) {
   bench::compare("BH2 consistently below SoI", "yes",
                  bench::num(result.bh2_mean_online, 2) + " vs " +
                      bench::num(result.soi_mean_online, 2) + " online");
-  return 0;
+  bench::report().add_series("soi_online", result.soi_online);
+  bench::report().add_series("scheme_online", result.bh2_online);
+  return bench::finish();
 }

@@ -8,7 +8,8 @@
 #include "dsl/crosstalk_experiment.h"
 #include "sim/random.h"
 
-int main() {
+int main(int argc, char** argv) {
+  insomnia::bench::parse_common_args_or_exit(argc, argv);
   using namespace insomnia;
   bench::banner("Fig. 14", "crosstalk bonus: speedup vs number of inactive lines");
 
@@ -39,5 +40,6 @@ int main() {
   bench::compare("62 Mbps early slope", "1.1-1.2% per inactive line", "see tables");
   bench::compare("62 Mbps, half the lines off", "~13.6%", "row 'inactive 12'");
   bench::compare("62 Mbps, 75% off", "~25%", "row 'inactive 20' (fixed 600 m)");
-  return 0;
+  insomnia::bench::note_scheme_not_applicable();
+  return insomnia::bench::finish();
 }

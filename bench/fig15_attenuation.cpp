@@ -9,7 +9,8 @@
 #include "dsl/attenuation_survey.h"
 #include "sim/random.h"
 
-int main() {
+int main(int argc, char** argv) {
+  insomnia::bench::parse_common_args_or_exit(argc, argv);
   using namespace insomnia;
   bench::banner("Fig. 15", "port attenuation distribution per line card");
 
@@ -33,5 +34,6 @@ int main() {
                      " dB vs overall stddev " + bench::num(survey.overall_stddev, 2) + " dB");
   bench::compare("spread", "~1 mile of loop (= ~23 dB at 70 m/dB)",
                  bench::num(survey.overall_stddev, 1) + " dB");
-  return 0;
+  insomnia::bench::note_scheme_not_applicable();
+  return insomnia::bench::finish();
 }

@@ -14,22 +14,23 @@ int main(int argc, char** argv) {
   MainExperimentConfig config;
   config.scenario = bench::scenario_from_args(argc, argv);
   config.runs = bench::runs_from_env(3);
-  config.schemes = {SchemeKind::kSoi,           SchemeKind::kSoiKSwitch,
-                    SchemeKind::kSoiFullSwitch, SchemeKind::kBh2KSwitch,
-                    SchemeKind::kBh2FullSwitch, SchemeKind::kOptimal};
+  config.schemes = {"soi",         "soi-kswitch",    "soi-fullswitch",
+                    "bh2-kswitch", "bh2-fullswitch", "optimal"};
+  bench::add_scheme_override(config.schemes);
   std::cout << "(" << config.runs << " paired runs)\n\n";
   const MainExperimentResult result = run_main_experiment(config);
 
-  const std::vector<std::pair<SchemeKind, double>> paper{
-      {SchemeKind::kOptimal, 1.0},       {SchemeKind::kBh2FullSwitch, 2.0},
-      {SchemeKind::kBh2KSwitch, 2.88},   {SchemeKind::kSoiFullSwitch, 3.0},
-      {SchemeKind::kSoiKSwitch, 3.74},   {SchemeKind::kSoi, 3.99}};
+  const std::vector<std::pair<std::string, double>> paper{
+      {"optimal", 1.0},        {"bh2-fullswitch", 2.0}, {"bh2-kswitch", 2.88},
+      {"soi-fullswitch", 3.0}, {"soi-kswitch", 3.74},   {"soi", 3.99}};
 
   util::TextTable table;
   table.set_header({"scheme", "paper", "measured (11-19h mean)"});
-  for (const auto& [kind, expected] : paper) {
-    table.add_row({scheme_name(kind), bench::num(expected, 2),
-                   bench::num(result.outcome(kind).peak_online_cards, 2)});
+  for (const auto& [name, expected] : paper) {
+    const SchemeOutcome& outcome = result.outcome(name);
+    table.add_row({outcome.display, bench::num(expected, 2),
+                   bench::num(outcome.peak_online_cards, 2)});
+    bench::report().set_field(name + "_peak_online_cards", outcome.peak_online_cards);
   }
   table.print(std::cout);
 
@@ -38,5 +39,6 @@ int main(int argc, char** argv) {
                  "see table");
   bench::compare("small switches track full switching", "4-switch close to full",
                  "compare BH2 rows");
-  return 0;
+  bench::report_scheme_override(result);
+  return bench::finish();
 }

@@ -15,12 +15,13 @@ int main(int argc, char** argv) {
   MainExperimentConfig config;
   config.scenario = bench::scenario_from_args(argc, argv);
   config.runs = bench::runs_from_env(3);
-  config.schemes = {SchemeKind::kBh2KSwitch, SchemeKind::kOptimal};
+  config.schemes = {"bh2-kswitch", "optimal"};
+  bench::add_scheme_override(config.schemes);
   std::cout << "(" << config.runs << " paired runs)\n\n";
   const MainExperimentResult result = run_main_experiment(config);
 
-  const auto& bh2 = result.outcome(SchemeKind::kBh2KSwitch);
-  const auto& optimal = result.outcome(SchemeKind::kOptimal);
+  const auto& bh2 = result.outcome("bh2-kswitch");
+  const auto& optimal = result.outcome("optimal");
 
   bench::compare("savings margin (Optimal, day avg)", "~80%", bench::pct(optimal.day_savings));
   bench::compare("BH2 + k-switch (day avg)", "66%", bench::pct(bh2.day_savings));
@@ -37,5 +38,6 @@ int main(int argc, char** argv) {
   bench::compare("annual savings", "~33 TWh", bench::num(annual_savings_twh(world), 1) + " TWh");
   bench::compare("equivalent nuclear plants", "~3",
                  bench::num(equivalent_nuclear_plants(world), 1));
-  return 0;
+  bench::report_scheme_override(result);
+  return bench::finish();
 }

@@ -3,7 +3,10 @@
 // stdout — ready for plotting.
 //
 //   $ ./build/example_neighborhood_day [scheme] [bins]
-//     scheme: nosleep | soi | soi-k | bh2 | bh2-nobackup | bh2-full | optimal
+//     scheme: any registered name (see core/scheme_registry.h), e.g.
+//             no-sleep | soi | soi-kswitch | bh2-kswitch | bh2-jitter |
+//             multilevel-doze | optimal; short aliases nosleep/soi-k/bh2/
+//             bh2-nobackup/bh2-full keep working
 //     bins:   number of day bins (default 96 = 15 min)
 #include <cstdlib>
 #include <iostream>
@@ -11,30 +14,32 @@
 #include <string>
 
 #include "core/report.h"
-#include "core/schemes.h"
+#include "core/scheme_registry.h"
 #include "topology/access_topology.h"
 #include "trace/synthetic_crawdad.h"
+#include "util/error.h"
 
 int main(int argc, char** argv) {
   using namespace insomnia;
   using namespace insomnia::core;
 
-  const std::map<std::string, SchemeKind> by_name{
-      {"nosleep", SchemeKind::kNoSleep},
-      {"soi", SchemeKind::kSoi},
-      {"soi-k", SchemeKind::kSoiKSwitch},
-      {"bh2", SchemeKind::kBh2KSwitch},
-      {"bh2-nobackup", SchemeKind::kBh2NoBackupKSwitch},
-      {"bh2-full", SchemeKind::kBh2FullSwitch},
-      {"optimal", SchemeKind::kOptimal}};
+  // Legacy spellings from before the registry existed.
+  const std::map<std::string, std::string> aliases{{"nosleep", "no-sleep"},
+                                                   {"soi-k", "soi-kswitch"},
+                                                   {"bh2", "bh2-kswitch"},
+                                                   {"bh2-nobackup", "bh2-nobackup-kswitch"},
+                                                   {"bh2-full", "bh2-fullswitch"}};
 
-  const std::string name = argc > 1 ? argv[1] : "bh2";
+  std::string name = argc > 1 ? argv[1] : "bh2-kswitch";
   const std::size_t bins = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 96;
-  const auto it = by_name.find(name);
-  if (it == by_name.end()) {
-    std::cerr << "unknown scheme '" << name << "'; options:";
-    for (const auto& [key, kind] : by_name) std::cerr << " " << key;
-    std::cerr << "\n";
+  const auto alias = aliases.find(name);
+  if (alias != aliases.end()) name = alias->second;
+
+  const SchemeSpec* spec = nullptr;
+  try {
+    spec = &find_scheme(name);
+  } catch (const util::InvalidArgument& error) {
+    std::cerr << error.what() << "\n";
     return 1;
   }
 
@@ -44,7 +49,7 @@ int main(int argc, char** argv) {
       topo::make_overlap_topology(scenario.client_count, scenario.degrees, rng);
   const trace::FlowTrace flows =
       trace::SyntheticCrawdadGenerator(scenario.traffic).generate(rng);
-  const RunMetrics metrics = run_scheme(scenario, topology, flows, it->second, 7);
-  write_run_csv(std::cout, metrics, bins, "scheme: " + scheme_name(it->second));
+  const RunMetrics metrics = run_scheme(scenario, topology, flows, *spec, 7);
+  write_run_csv(std::cout, metrics, bins, "scheme: " + spec->display);
   return 0;
 }

@@ -6,7 +6,7 @@
 // This walks through the library's core workflow:
 //   1. describe the scenario        (core::ScenarioConfig)
 //   2. generate topology + traffic  (topo::, trace::)
-//   3. run schemes                  (core::run_scheme)
+//   3. run registered schemes       (core::run_scheme + core/scheme_registry.h)
 //   4. read the metrics             (core::RunMetrics, core::savings_fraction)
 #include <cstdlib>
 #include <iostream>
@@ -44,10 +44,10 @@ int main(int argc, char** argv) {
   std::cout << "Generated " << flows.size() << " flows; mean gateways in range "
             << util::format_fixed(topology.mean_gateways_per_client(), 1) << "\n\n";
 
-  // 3. Run the baseline and the two schemes.
-  const RunMetrics baseline = run_scheme(scenario, topology, flows, SchemeKind::kNoSleep, 1);
-  const RunMetrics soi = run_scheme(scenario, topology, flows, SchemeKind::kSoi, 1);
-  const RunMetrics bh2 = run_scheme(scenario, topology, flows, SchemeKind::kBh2KSwitch, 1);
+  // 3. Run the baseline and the two schemes, selected by registry name.
+  const RunMetrics baseline = run_scheme(scenario, topology, flows, "no-sleep", 1);
+  const RunMetrics soi = run_scheme(scenario, topology, flows, "soi", 1);
+  const RunMetrics bh2 = run_scheme(scenario, topology, flows, "bh2-kswitch", 1);
 
   // 4. Report.
   auto report = [&](const char* name, const RunMetrics& m) {

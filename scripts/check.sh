@@ -24,6 +24,13 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 # extrapolation) end to end through the real CLI.
 "$build_dir/city01_fleet" --size 4 --seed 7 > /dev/null
 
+# Scheme-registry + Engine smoke: a beyond-paper registered scheme end to
+# end through the unified CLI, with the structured RunReport JSON validated
+# by an independent parser.
+"$build_dir/engine01_run" --scheme multilevel-doze --runs 1 --bins 6 \
+  --json "$build_dir/engine01_report.json" > /dev/null
+python3 -m json.tool "$build_dir/engine01_report.json" > /dev/null
+
 # Perf-harness smoke: one paired day per preset, then validate the shape of
 # BENCH_day_throughput.json (events/sec > 0 — no wall-clock gate here).
 "$repo_root/scripts/perfbench.sh" --smoke "$build_dir" > /dev/null

@@ -37,12 +37,15 @@ else
   "$build_dir/day_throughput" --out "$out"
 fi
 
-# Validate the artefact: well-formed enough to track, and the harness
-# actually simulated something (events/sec strictly positive).
+# Validate the artefact: actually parseable JSON with the right tag, and
+# the harness simulated something (events/sec strictly positive).
 [ -s "$out" ] || { echo "error: $out missing or empty" >&2; exit 1; }
-grep -q '"benchmark": "day_throughput"' "$out" || {
-  echo "error: $out lacks the benchmark tag" >&2; exit 1; }
-events=$(grep -o '"events_per_sec": [0-9.]*' "$out" | tail -1 | awk '{print $2}')
+events=$(python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["benchmark"] == "day_throughput", "missing benchmark tag"
+print(doc["total"]["events_per_sec"])
+' "$out") || { echo "error: $out is not a valid day_throughput artefact" >&2; exit 1; }
 awk "BEGIN { exit !($events > 0) }" || {
   echo "error: total events_per_sec is $events (expected > 0)" >&2; exit 1; }
 echo "BENCH_day_throughput.json: total events/sec = $events"

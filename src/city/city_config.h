@@ -11,8 +11,6 @@
 #include <string>
 #include <vector>
 
-#include "core/schemes.h"
-
 namespace insomnia::city {
 
 /// Per-neighbourhood variation applied around a preset. Each knob is a
@@ -49,8 +47,10 @@ struct CityConfig {
   std::vector<CityMixComponent> mix;  ///< must be non-empty
   int neighbourhoods = 64;
   std::uint64_t seed = 42;
-  /// Scheme compared against the no-sleep baseline in every neighbourhood.
-  core::SchemeKind scheme = core::SchemeKind::kBh2KSwitch;
+  /// Registered scheme name (core/scheme_registry.h) compared against the
+  /// no-sleep baseline in every neighbourhood. Unknown names are rejected
+  /// by run_city with the list of valid schemes.
+  std::string scheme = "bh2-kswitch";
   /// Worker threads for sharding neighbourhoods; 0 = auto (INSOMNIA_THREADS
   /// or the hardware concurrency). Results are bit-identical for any value.
   int threads = 0;

@@ -2,7 +2,7 @@
 
 #include "city/neighbourhood_sampler.h"
 #include "core/metrics.h"
-#include "core/schemes.h"
+#include "core/scheme_registry.h"
 #include "exec/sweep_runner.h"
 #include "sim/random.h"
 #include "topology/access_topology.h"
@@ -36,10 +36,10 @@ NeighbourhoodOutcome simulate_neighbourhood(const CityConfig& config,
 
   // Paired days: same topology and trace under no-sleep and the scheme.
   const core::RunMetrics baseline =
-      core::run_scheme(scenario, topology, flows, core::SchemeKind::kNoSleep,
+      core::run_scheme(scenario, topology, flows, core::find_scheme("no-sleep"),
                        sim::Random::substream_seed(config.seed, index, kBaselineSalt));
   const core::RunMetrics scheme =
-      core::run_scheme(scenario, topology, flows, config.scheme,
+      core::run_scheme(scenario, topology, flows, core::find_scheme(config.scheme),
                        sim::Random::substream_seed(config.seed, index, kSchemeSalt));
 
   NeighbourhoodOutcome outcome;
@@ -64,6 +64,7 @@ CityResult run_city(const CityConfig& config) {
 CityResult run_city(const CityConfig& config,
                     const std::vector<core::ScenarioPreset>& presets) {
   validate(config);
+  core::find_scheme(config.scheme);  // unknown names fail before any sharding
 
   std::vector<std::string> names;
   names.reserve(config.mix.size());

@@ -4,8 +4,11 @@
 
 namespace insomnia::core {
 
-Bh2Policy::Bh2Policy(int backup) : backup_(backup) {
+Bh2Policy::Bh2Policy(int backup, double threshold_jitter)
+    : backup_(backup), threshold_jitter_(threshold_jitter) {
   util::require(backup >= 0, "backup count must be non-negative");
+  util::require(threshold_jitter >= 0.0 && threshold_jitter < 1.0,
+                "threshold jitter must be in [0, 1)");
 }
 
 void Bh2Policy::start(AccessRuntime& runtime) {
@@ -14,12 +17,23 @@ void Bh2Policy::start(AccessRuntime& runtime) {
   const int clients = runtime.scenario().client_count;
   assignment_.resize(static_cast<std::size_t>(clients));
   pending_home_.assign(static_cast<std::size_t>(clients), false);
+  if (threshold_jitter_ > 0.0) {
+    client_config_.assign(static_cast<std::size_t>(clients), config_);
+  }
   for (int c = 0; c < clients; ++c) {
     assignment_[static_cast<std::size_t>(c)] =
         runtime.topology().home_gateway[static_cast<std::size_t>(c)];
     // Random offset desynchronises the terminals (§3.1).
     const double offset = runtime.rng().uniform(0.0, config_.decision_period);
     runtime.simulator().at(offset, [this, &runtime, c] { decision_epoch(runtime, c); });
+    if (threshold_jitter_ > 0.0) {
+      // One factor scales both thresholds, preserving the hysteresis band.
+      const double factor =
+          runtime.rng().uniform(1.0 - threshold_jitter_, 1.0 + threshold_jitter_);
+      auto& mine = client_config_[static_cast<std::size_t>(c)];
+      mine.low_threshold *= factor;
+      mine.high_threshold *= factor;
+    }
   }
 }
 
@@ -39,8 +53,8 @@ void Bh2Policy::decision_epoch(AccessRuntime& runtime, int client) {
     const auto& reachable = runtime.topology().client_gateways[static_cast<std::size_t>(client)];
     const double own_share = runtime.network().client_throughput_at(client, current) /
                              runtime.scenario().backhaul_bps;
-    const bh2::Decision decision =
-        bh2::decide(home, reachable, current, observer, config_, runtime.rng(), own_share);
+    const bh2::Decision decision = bh2::decide(home, reachable, current, observer,
+                                               config_for(client), runtime.rng(), own_share);
     apply(runtime, client, decision);
   }
 
@@ -102,8 +116,8 @@ int Bh2Policy::route_flow(AccessRuntime& runtime, int client, double /*bytes*/) 
   // to a warm gateway; without backups it must wake its home and wait.
   RuntimeObserver observer(runtime);
   const auto& reachable = runtime.topology().client_gateways[static_cast<std::size_t>(client)];
-  const int target = bh2::reroute_on_wake_needed(home, reachable, current, observer, config_,
-                                                 runtime.rng());
+  const int target = bh2::reroute_on_wake_needed(home, reachable, current, observer,
+                                                 config_for(client), runtime.rng());
   if (target >= 0) {
     if (target != current) runtime.count_bh2_move();
     current = target;

@@ -18,7 +18,12 @@ namespace insomnia::core {
 class Bh2Policy : public Policy {
  public:
   /// `backup` overrides the scenario's bh2.backup (Fig. 7/9 compare 0 / 1).
-  Bh2Policy(int backup);
+  /// `threshold_jitter` > 0 scales each terminal's low/high load thresholds
+  /// by an independent factor drawn uniformly from [1 - j, 1 + j] at start —
+  /// the beyond-paper "bh2-jitter" scheme, which desynchronises herd
+  /// reactions around a shared threshold. 0 (the paper's setting) draws
+  /// nothing and keeps the historical RNG stream bit-identical.
+  Bh2Policy(int backup, double threshold_jitter = 0.0);
 
   void start(AccessRuntime& runtime) override;
   int route_flow(AccessRuntime& runtime, int client, double bytes) override;
@@ -46,8 +51,17 @@ class Bh2Policy : public Policy {
   /// Applies a §3.1 decision.
   void apply(AccessRuntime& runtime, int client, const bh2::Decision& decision);
 
+  /// The thresholds this terminal decides with: the shared config, or its
+  /// jittered copy when threshold_jitter > 0.
+  const bh2::Bh2Config& config_for(int client) const {
+    return client_config_.empty() ? config_
+                                  : client_config_[static_cast<std::size_t>(client)];
+  }
+
   bh2::Bh2Config config_;
   int backup_;
+  double threshold_jitter_;
+  std::vector<bh2::Bh2Config> client_config_;  ///< empty unless jittered
   std::vector<int> assignment_;      ///< gateway carrying new traffic
   std::vector<bool> pending_home_;   ///< waiting for home to finish waking
 };

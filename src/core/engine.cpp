@@ -1,0 +1,227 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "core/metrics.h"
+#include "core/scenario_presets.h"
+#include "exec/sweep_runner.h"
+#include "sim/random.h"
+#include "stats/timeseries.h"
+#include "topology/access_topology.h"
+#include "trace/synthetic_crawdad.h"
+#include "trace/trace_io.h"
+#include "util/error.h"
+#include "util/json_writer.h"
+
+namespace insomnia::core {
+
+namespace {
+
+/// Exact per-bin total (user + ISP) energy integrals of one run.
+std::vector<double> bin_total_energy(const RunMetrics& metrics, std::size_t bins) {
+  std::vector<double> out(bins);
+  const double width = metrics.duration / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double lo = width * static_cast<double>(i);
+    const double hi = (i + 1 == bins) ? metrics.duration : lo + width;
+    out[i] = metrics.user_power.integral(lo, hi) + metrics.isp_power.integral(lo, hi);
+  }
+  return out;
+}
+
+/// Everything one paired day contributes to the report.
+struct DayOutput {
+  EngineDay day;
+  std::vector<double> baseline_energy_bins;
+  std::vector<double> scheme_energy_bins;
+  std::vector<double> online_gateways;  ///< binned means
+};
+
+}  // namespace
+
+Engine::Engine() : registry_(&scheme_registry()) {}
+
+Engine::Engine(const SchemeRegistry& registry) : registry_(&registry) {}
+
+RunReport Engine::run(const RunSpec& spec) const {
+  util::require(spec.runs >= 1, "engine run needs at least one repeat");
+  util::require(spec.bins >= 1, "engine run needs at least one bin");
+  util::require(spec.peak_start < spec.peak_end, "peak window must not be empty");
+  util::require(spec.preset.empty() || !spec.scenario.has_value(),
+                "RunSpec sets both a preset name and an inline scenario");
+
+  const SchemeSpec& scheme = registry_->find(spec.scheme);
+  const SchemeSpec& baseline_scheme = registry_->find("no-sleep");
+
+  ScenarioConfig scenario;
+  std::string preset_name = "(inline)";
+  if (spec.scenario.has_value()) {
+    scenario = *spec.scenario;
+  } else {
+    const ScenarioPreset& preset =
+        find_scenario_preset(spec.preset.empty() ? "paper-default" : spec.preset);
+    scenario = preset.scenario;
+    preset_name = preset.name;
+  }
+
+  RunReport report;
+  report.scheme = scheme.name;
+  report.scheme_display = scheme.display;
+  report.preset = preset_name;
+  report.trace_file = spec.trace_file;
+  report.seed = spec.seed;
+  report.runs = spec.runs;
+  report.bins = spec.bins;
+  report.peak_start = spec.peak_start;
+  report.peak_end = spec.peak_end;
+  report.clients = scenario.client_count;
+  report.gateways = scenario.gateway_count;
+
+  // Same derivations as core/experiments: one fixed topology, per-run trace
+  // substreams, fixed baseline/scheme salts.
+  sim::Random topo_rng(sim::Random::substream_seed(spec.seed, 0, 7));
+  const topo::AccessTopology topology =
+      topo::make_overlap_topology(scenario.client_count, scenario.degrees, topo_rng);
+
+  const trace::SyntheticCrawdadGenerator generator(scenario.traffic);
+  trace::FlowTrace recorded;
+  if (!spec.trace_file.empty()) recorded = trace::load_flow_trace(spec.trace_file);
+
+  exec::SweepRunner runner(spec.threads);
+  const std::vector<DayOutput> outputs =
+      runner.run(static_cast<std::size_t>(spec.runs), [&](std::size_t run) {
+        trace::FlowTrace generated;
+        if (spec.trace_file.empty()) {
+          sim::Random trace_rng(sim::Random::substream_seed(spec.seed, run, 1));
+          generated = generator.generate(trace_rng);
+        }
+        const trace::FlowTrace& flows = spec.trace_file.empty() ? generated : recorded;
+
+        const RunMetrics baseline =
+            run_scheme(scenario, topology, flows, baseline_scheme,
+                       sim::Random::substream_seed(spec.seed, run, 2));
+        const RunMetrics metrics =
+            run_scheme(scenario, topology, flows, scheme,
+                       sim::Random::substream_seed(spec.seed, run, 100));
+
+        DayOutput out;
+        out.day.baseline_user_energy = baseline.user_energy();
+        out.day.baseline_isp_energy = baseline.isp_energy();
+        out.day.user_energy = metrics.user_energy();
+        out.day.isp_energy = metrics.isp_energy();
+        const double base_total =
+            out.day.baseline_user_energy + out.day.baseline_isp_energy;
+        const double mine_total = out.day.user_energy + out.day.isp_energy;
+        out.day.savings = base_total > 0.0 ? 1.0 - mine_total / base_total : 0.0;
+        const double user_saved = out.day.baseline_user_energy - out.day.user_energy;
+        const double isp_saved = out.day.baseline_isp_energy - out.day.isp_energy;
+        const double total_saved = user_saved + isp_saved;
+        out.day.isp_share = total_saved > 0.0 ? isp_saved / total_saved : 0.0;
+        out.day.peak_online_gateways =
+            metrics.online_gateways.mean(spec.peak_start, spec.peak_end);
+        out.day.peak_online_cards =
+            metrics.online_cards.mean(spec.peak_start, spec.peak_end);
+        out.day.wake_events = metrics.gateway_wake_events;
+        out.day.bh2_moves = metrics.bh2_moves;
+        out.day.bh2_home_returns = metrics.bh2_home_returns;
+        out.day.executed_events = metrics.executed_events;
+        out.day.flows = static_cast<std::uint64_t>(flows.size());
+
+        out.baseline_energy_bins = bin_total_energy(baseline, spec.bins);
+        out.scheme_energy_bins = bin_total_energy(metrics, spec.bins);
+        out.online_gateways =
+            metrics.online_gateways.binned_means(0.0, metrics.duration, spec.bins);
+        return out;
+      });
+
+  // Fold in run order — independent of the thread count.
+  std::vector<double> baseline_bins(spec.bins, 0.0);
+  std::vector<double> scheme_bins(spec.bins, 0.0);
+  std::vector<std::vector<double>> gateway_rows;
+  double baseline_energy = 0.0;
+  double scheme_energy = 0.0;
+  double baseline_user = 0.0;
+  double scheme_user = 0.0;
+  double peak_gateways = 0.0;
+  double wakes = 0.0;
+  for (const DayOutput& out : outputs) {
+    report.days.push_back(out.day);
+    for (std::size_t i = 0; i < spec.bins; ++i) {
+      baseline_bins[i] += out.baseline_energy_bins[i];
+      scheme_bins[i] += out.scheme_energy_bins[i];
+    }
+    gateway_rows.push_back(out.online_gateways);
+    baseline_energy += out.day.baseline_user_energy + out.day.baseline_isp_energy;
+    scheme_energy += out.day.user_energy + out.day.isp_energy;
+    baseline_user += out.day.baseline_user_energy;
+    scheme_user += out.day.user_energy;
+    peak_gateways += out.day.peak_online_gateways;
+    wakes += static_cast<double>(out.day.wake_events);
+    report.executed_events += out.day.executed_events;
+  }
+
+  report.day_savings = baseline_energy > 0.0 ? 1.0 - scheme_energy / baseline_energy : 0.0;
+  const double user_saved = baseline_user - scheme_user;
+  const double total_saved = baseline_energy - scheme_energy;
+  report.day_isp_share = total_saved > 0.0 ? (total_saved - user_saved) / total_saved : 0.0;
+  const double runs_d = static_cast<double>(spec.runs);
+  report.peak_online_gateways = peak_gateways / runs_d;
+  report.mean_wake_events = wakes / runs_d;
+
+  report.savings_series.resize(spec.bins);
+  for (std::size_t i = 0; i < spec.bins; ++i) {
+    report.savings_series[i] =
+        baseline_bins[i] > 0.0 ? 1.0 - scheme_bins[i] / baseline_bins[i] : 0.0;
+  }
+  report.online_gateways_series = stats::elementwise_mean(gateway_rows);
+  return report;
+}
+
+std::string RunReport::to_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("report", "engine-run");
+  json.field("scheme", scheme);
+  json.field("scheme_display", scheme_display);
+  json.field("preset", preset);
+  json.field("trace_file", trace_file);
+  json.field("seed", seed);
+  json.field("runs", runs);
+  json.field("bins", bins);
+  json.field("peak_start", peak_start);
+  json.field("peak_end", peak_end);
+  json.field("clients", clients);
+  json.field("gateways", gateways);
+  json.key("aggregate").begin_object();
+  json.field("day_savings", day_savings);
+  json.field("day_isp_share", day_isp_share);
+  json.field("peak_online_gateways", peak_online_gateways);
+  json.field("mean_wake_events", mean_wake_events);
+  json.field("executed_events", executed_events);
+  json.end_object();
+  json.number_array("savings_series", savings_series);
+  json.number_array("online_gateways_series", online_gateways_series);
+  json.key("days").begin_array();
+  for (const EngineDay& day : days) {
+    json.begin_object();
+    json.field("baseline_user_energy", day.baseline_user_energy);
+    json.field("baseline_isp_energy", day.baseline_isp_energy);
+    json.field("user_energy", day.user_energy);
+    json.field("isp_energy", day.isp_energy);
+    json.field("savings", day.savings);
+    json.field("isp_share", day.isp_share);
+    json.field("peak_online_gateways", day.peak_online_gateways);
+    json.field("peak_online_cards", day.peak_online_cards);
+    json.field("wake_events", day.wake_events);
+    json.field("bh2_moves", day.bh2_moves);
+    json.field("bh2_home_returns", day.bh2_home_returns);
+    json.field("executed_events", day.executed_events);
+    json.field("flows", day.flows);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace insomnia::core

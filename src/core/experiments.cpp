@@ -82,17 +82,19 @@ struct RunOutput {
 
 /// Simulates paired day `run`. Pure function of (config, topology, run): all
 /// randomness is derived from substream seeds keyed by the run index, so the
-/// sweep can be sharded across threads in any order.
+/// sweep can be sharded across threads in any order. `schemes` holds the
+/// registry specs of config.schemes, resolved once by the caller.
 RunOutput simulate_run(const MainExperimentConfig& config,
                        const topo::AccessTopology& topology,
                        const trace::SyntheticCrawdadGenerator& generator, int run,
-                       bool wants_soi) {
+                       const std::vector<const SchemeSpec*>& schemes,
+                       const SchemeSpec& baseline_scheme, bool wants_soi) {
   RunOutput out;
   sim::Random trace_rng(sim::Random::substream_seed(config.seed, run, 1));
   const trace::FlowTrace flows = generator.generate(trace_rng);
 
   const RunMetrics baseline =
-      run_scheme(config.scenario, topology, flows, SchemeKind::kNoSleep,
+      run_scheme(config.scenario, topology, flows, baseline_scheme,
                  sim::Random::substream_seed(config.seed, run, 2));
   out.baseline = bin_energy(baseline, config.bins);
   out.baseline_user_energy = baseline.user_energy();
@@ -103,9 +105,9 @@ RunOutput simulate_run(const MainExperimentConfig& config,
 
   out.schemes.resize(config.schemes.size());
   for (std::size_t s = 0; s < config.schemes.size(); ++s) {
-    const SchemeKind kind = config.schemes[s];
+    const SchemeSpec& spec = *schemes[s];
     RunMetrics metrics =
-        run_scheme(config.scenario, topology, flows, kind,
+        run_scheme(config.scenario, topology, flows, spec,
                    sim::Random::substream_seed(config.seed, run, 100 + s));
 
     SchemeRunOutput& o = out.schemes[s];
@@ -120,20 +122,18 @@ RunOutput simulate_run(const MainExperimentConfig& config,
     o.moves = static_cast<double>(metrics.bh2_moves);
     o.returns = static_cast<double>(metrics.bh2_home_returns);
 
-    if (kind != SchemeKind::kNoSleep) {
+    if (spec.name != "no-sleep") {
       o.fct = completion_time_increase(metrics, baseline);
     }
-    if (kind == SchemeKind::kSoi) {
+    if (spec.name == "soi") {
       soi_metrics = std::move(metrics);
       have_soi = true;
       continue;
     }
-    // Fairness (Fig. 9b) needs the same-run SoI metrics; BH2 schemes are
-    // listed after SoI by convention (enforced below).
-    if ((kind == SchemeKind::kBh2KSwitch || kind == SchemeKind::kBh2NoBackupKSwitch ||
-         kind == SchemeKind::kBh2FullSwitch) &&
-        wants_soi) {
-      util::require_state(have_soi, "list SchemeKind::kSoi before BH2 schemes");
+    // Fairness (Fig. 9b) needs the same-run SoI metrics; fairness-paired
+    // schemes are listed after SoI by convention (enforced below).
+    if (spec.fairness_vs_soi && wants_soi) {
+      util::require_state(have_soi, "list \"soi\" before fairness-paired schemes");
       o.fairness = online_time_variation(metrics, soi_metrics);
     }
   }
@@ -142,11 +142,15 @@ RunOutput simulate_run(const MainExperimentConfig& config,
 
 }  // namespace
 
-const SchemeOutcome& MainExperimentResult::outcome(SchemeKind kind) const {
+const SchemeOutcome& MainExperimentResult::outcome(const std::string& scheme) const {
   for (const SchemeOutcome& o : schemes) {
-    if (o.scheme == kind) return o;
+    if (o.scheme == scheme) return o;
   }
-  throw util::InvalidArgument("scheme not part of this experiment: " + scheme_name(kind));
+  throw util::InvalidArgument("scheme not part of this experiment: " + scheme);
+}
+
+const SchemeOutcome& MainExperimentResult::outcome(SchemeKind kind) const {
+  return outcome(scheme_token(kind));
 }
 
 MainExperimentResult run_main_experiment(const MainExperimentConfig& config) {
@@ -161,8 +165,15 @@ MainExperimentResult run_main_experiment(const MainExperimentConfig& config) {
   const topo::AccessTopology topology = topo::make_overlap_topology(
       config.scenario.client_count, config.scenario.degrees, topo_rng);
 
+  // Resolve every scheme name once, up front — an unknown name must fail
+  // before any simulation work starts (and the error lists what would work).
+  std::vector<const SchemeSpec*> schemes;
+  schemes.reserve(config.schemes.size());
+  for (const std::string& name : config.schemes) schemes.push_back(&find_scheme(name));
+  const SchemeSpec& baseline_scheme = find_scheme("no-sleep");
+
   const bool wants_soi =
-      std::find(config.schemes.begin(), config.schemes.end(), SchemeKind::kSoi) !=
+      std::find(config.schemes.begin(), config.schemes.end(), "soi") !=
       config.schemes.end();
 
   const trace::SyntheticCrawdadGenerator generator(config.scenario.traffic);
@@ -171,7 +182,8 @@ MainExperimentResult run_main_experiment(const MainExperimentConfig& config) {
   exec::SweepRunner runner(config.threads);
   const std::vector<RunOutput> runs =
       runner.run(static_cast<std::size_t>(config.runs), [&](std::size_t run) {
-        return simulate_run(config, topology, generator, static_cast<int>(run), wants_soi);
+        return simulate_run(config, topology, generator, static_cast<int>(run), schemes,
+                            baseline_scheme, wants_soi);
       });
 
   // Fold per-run outputs in run order — the exact addition sequence of the
@@ -221,7 +233,8 @@ MainExperimentResult run_main_experiment(const MainExperimentConfig& config) {
   for (std::size_t s = 0; s < config.schemes.size(); ++s) {
     Accumulator& a = acc[s];
     SchemeOutcome outcome;
-    outcome.scheme = config.schemes[s];
+    outcome.scheme = schemes[s]->name;
+    outcome.display = schemes[s]->display;
 
     outcome.savings.resize(config.bins);
     outcome.isp_share.resize(config.bins);
@@ -260,8 +273,10 @@ MainExperimentResult run_main_experiment(const MainExperimentConfig& config) {
 
 std::vector<DensityPoint> run_density_sweep(const ScenarioConfig& scenario,
                                             const std::vector<double>& mean_gateways,
-                                            int runs, std::uint64_t seed, int threads) {
+                                            int runs, std::uint64_t seed, int threads,
+                                            const std::string& scheme) {
   util::require(runs >= 1, "density sweep needs at least one run");
+  const SchemeSpec& spec = find_scheme(scheme);
   const trace::SyntheticCrawdadGenerator generator(scenario.traffic);
   const double peak_start = 11.0 * 3600.0;
   const double peak_end = 19.0 * 3600.0;
@@ -280,7 +295,7 @@ std::vector<DensityPoint> run_density_sweep(const ScenarioConfig& scenario,
         sim::Random trace_rng(sim::Random::substream_seed(seed, run, 1));
         const trace::FlowTrace flows = generator.generate(trace_rng);
         const RunMetrics metrics =
-            run_scheme(scenario, topology, flows, SchemeKind::kBh2KSwitch,
+            run_scheme(scenario, topology, flows, spec,
                        sim::Random::substream_seed(seed, run, 400 + level));
         return metrics.online_gateways.mean(peak_start, peak_end);
       });

@@ -1,9 +1,12 @@
 // Figure-level experiment drivers. Each regenerates the data behind one or
 // more of the paper's evaluation artefacts; the bench/ binaries only format
-// what these return.
+// what these return. Schemes are selected by registry name
+// (core/scheme_registry.h) — any registered scheme, paper or beyond, can
+// join a comparison.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/scenario.h"
@@ -14,7 +17,11 @@ namespace insomnia::core {
 /// Configuration shared by the simulation experiments (Figs. 6-9 + §5.2.3).
 struct MainExperimentConfig {
   ScenarioConfig scenario;
-  std::vector<SchemeKind> schemes;  ///< schemes to evaluate (baseline implicit)
+  /// Registered scheme names to evaluate (the no-sleep baseline is
+  /// implicit). Unknown names throw util::InvalidArgument listing the valid
+  /// ones. "soi" must be listed before any scheme whose spec pairs fairness
+  /// against it (the Fig. 9b convention).
+  std::vector<std::string> schemes;
   int runs = 10;                    ///< §5.2: 10 repetitions, averaged
   std::uint64_t seed = 42;
   std::size_t bins = 96;            ///< day-series resolution (15 min)
@@ -27,7 +34,8 @@ struct MainExperimentConfig {
 
 /// Aggregated outcome of one scheme across all runs.
 struct SchemeOutcome {
-  SchemeKind scheme{};
+  std::string scheme;   ///< registry name
+  std::string display;  ///< figure-style display name
 
   // Day series (one value per bin, energy-weighted across runs).
   std::vector<double> savings;          ///< fraction vs no-sleep (Fig. 6)
@@ -56,6 +64,8 @@ struct MainExperimentResult {
   MainExperimentConfig config;
   std::vector<SchemeOutcome> schemes;
 
+  const SchemeOutcome& outcome(const std::string& scheme) const;
+  /// Paper-enum shim: outcome(scheme_token(kind)).
   const SchemeOutcome& outcome(SchemeKind kind) const;
 };
 
@@ -69,13 +79,14 @@ struct DensityPoint {
   double mean_online_gateways = 0.0;  ///< over the peak window
 };
 
-/// Fig. 10: BH2's aggregation vs wireless density. Each density level uses
-/// fresh binomial connectivity matrices per run. All (level, run) cells are
-/// independent and sharded over `threads` workers (0 = auto); results are
-/// bit-identical for any thread count.
+/// Fig. 10: aggregation vs wireless density for `scheme` (the paper runs
+/// BH2). Each density level uses fresh binomial connectivity matrices per
+/// run. All (level, run) cells are independent and sharded over `threads`
+/// workers (0 = auto); results are bit-identical for any thread count.
 std::vector<DensityPoint> run_density_sweep(const ScenarioConfig& scenario,
                                             const std::vector<double>& mean_gateways,
-                                            int runs, std::uint64_t seed, int threads = 0);
+                                            int runs, std::uint64_t seed, int threads = 0,
+                                            const std::string& scheme = "bh2-kswitch");
 
 /// Reads the per-experiment run count from the INSOMNIA_RUNS environment
 /// variable, defaulting to `fallback` when unset (lets CI trade fidelity for

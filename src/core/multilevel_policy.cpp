@@ -1,0 +1,80 @@
+#include "core/multilevel_policy.h"
+
+#include "util/error.h"
+
+namespace insomnia::core {
+
+MultiLevelDozePolicy::MultiLevelDozePolicy(MultiLevelDozeConfig config) : config_(config) {
+  util::require(config.deep_after > 0.0, "deep_after must be positive");
+  util::require(config.scan_period > 0.0, "scan_period must be positive");
+  util::require(config.host_load_cap > 0.0, "host_load_cap must be positive");
+}
+
+void MultiLevelDozePolicy::start(AccessRuntime& runtime) {
+  // A cold §5.2 start means every gateway has been dozing "since before the
+  // day began": onset 0 makes them deep once deep_after elapses. A warm
+  // start observes everyone awake.
+  sleep_since_.assign(static_cast<std::size_t>(runtime.scenario().gateway_count),
+                      runtime.scenario().start_awake ? -1.0 : 0.0);
+  runtime.simulator().at(config_.scan_period, [this, &runtime] { scan(runtime); });
+}
+
+void MultiLevelDozePolicy::scan(AccessRuntime& runtime) {
+  for (int g = 0; g < static_cast<int>(sleep_since_.size()); ++g) {
+    auto& since = sleep_since_[static_cast<std::size_t>(g)];
+    if (runtime.gateway_state(g) == GatewayState::kAsleep) {
+      if (since < 0.0) since = runtime.simulator().now();
+    } else {
+      since = -1.0;
+    }
+  }
+  if (runtime.simulator().now() < runtime.duration()) {
+    runtime.simulator().after(config_.scan_period, [this, &runtime] { scan(runtime); });
+  }
+}
+
+bool MultiLevelDozePolicy::deep_asleep(AccessRuntime& runtime, int gateway) const {
+  if (runtime.gateway_state(gateway) != GatewayState::kAsleep) return false;
+  const double since = sleep_since_[static_cast<std::size_t>(gateway)];
+  return since >= 0.0 && runtime.simulator().now() - since >= config_.deep_after;
+}
+
+void MultiLevelDozePolicy::on_gateway_active(AccessRuntime&, int gateway) {
+  // A warm start (start_awake) activates gateways before start() runs;
+  // those notifications carry no doze history to clear.
+  if (sleep_since_.empty()) return;
+  sleep_since_[static_cast<std::size_t>(gateway)] = -1.0;
+}
+
+int MultiLevelDozePolicy::route_flow(AccessRuntime& runtime, int client, double /*bytes*/) {
+  const int home = runtime.topology().home_gateway[static_cast<std::size_t>(client)];
+  if (runtime.gateway_state(home) != GatewayState::kAsleep) return home;
+
+  if (!deep_asleep(runtime, home)) {
+    // Shallow doze: the cheap wake-up, exactly SoI's behaviour.
+    runtime.request_wake(home);
+    return home;
+  }
+
+  // Deep doze: prefer an already active neighbour with headroom over paying
+  // the expensive resynchronisation. First minimum wins (deterministic).
+  const auto& reachable = runtime.topology().client_gateways[static_cast<std::size_t>(client)];
+  int host = -1;
+  double host_load = 0.0;
+  for (const int g : reachable) {
+    if (!runtime.gateway_active(g)) continue;
+    const double load = runtime.gateway_load(g);
+    if (load >= config_.host_load_cap) continue;
+    if (host < 0 || load < host_load) {
+      host = g;
+      host_load = load;
+    }
+  }
+  if (host >= 0) return host;
+
+  // No warm host: the deep wake-up is unavoidable.
+  runtime.request_wake(home);
+  return home;
+}
+
+}  // namespace insomnia::core

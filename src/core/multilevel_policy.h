@@ -1,0 +1,52 @@
+// A beyond-paper scheme: multi-level sleep with a shallow and a deep doze
+// state, after the multi-power-level sleep management studied for PONs and
+// edge deployments (see PAPERS.md). The runtime's Sleep-on-Idle machinery
+// provides the shallow doze; a gateway that stays asleep past a threshold
+// is treated as deeply dozed — its resynchronisation is the expensive kind
+// — and the policy then prefers hitch-hiking new traffic onto an already
+// active neighbour gateway over paying the deep wake-up, falling back to
+// waking home only when no warm host has headroom.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+
+namespace insomnia::core {
+
+/// Tunables of the deep/shallow doze model.
+struct MultiLevelDozeConfig {
+  /// Continuous sleep beyond which a gateway counts as deeply dozed.
+  double deep_after = 900.0;
+  /// Cadence of the sleep-onset observation scan (terminals notice a
+  /// gateway's beacons stopped within one period).
+  double scan_period = 30.0;
+  /// A neighbour only hosts guest traffic while its backhaul utilization is
+  /// below this cap (protects the host's own QoS; mirrors BH2's high
+  /// threshold).
+  double host_load_cap = 0.5;
+};
+
+/// Home-first routing with doze-depth awareness. Shallow wake-ups behave
+/// exactly like SoI; deep wake-ups are avoided when an active reachable
+/// gateway has headroom.
+class MultiLevelDozePolicy : public Policy {
+ public:
+  explicit MultiLevelDozePolicy(MultiLevelDozeConfig config = {});
+
+  void start(AccessRuntime& runtime) override;
+  int route_flow(AccessRuntime& runtime, int client, double bytes) override;
+  void on_gateway_active(AccessRuntime& runtime, int gateway) override;
+
+  /// True when `gateway` is observed asleep past the deep threshold.
+  bool deep_asleep(AccessRuntime& runtime, int gateway) const;
+
+ private:
+  /// Periodic observation pass recording sleep onsets.
+  void scan(AccessRuntime& runtime);
+
+  MultiLevelDozeConfig config_;
+  std::vector<double> sleep_since_;  ///< observed sleep onset; -1 = awake
+};
+
+}  // namespace insomnia::core

@@ -1,10 +1,13 @@
 // AccessRuntime drives one simulated day of one scheme: it owns the event
 // clock, the fluid data plane, the per-gateway sleep state machines, the
 // DSLAM + switching fabric, and the energy meters, and it replays the flow
-// trace through a pluggable Policy. Four policy families exist (no-sleep and
-// SoI in core/home_policy.h, BH2 in core/bh2_policy.h, Optimal in
-// core/optimal_policy.h); crossed with the DSLAM switch fabrics they yield
-// the eight SchemeKind combinations that core/schemes.h exposes.
+// trace through a pluggable Policy. Policies pair with a DSLAM switch
+// fabric in the string-keyed scheme registry (core/scheme_registry.h):
+// the paper's eight §5.1 combinations are registered built-ins (no-sleep
+// and SoI in core/home_policy.h, BH2 in core/bh2_policy.h, Optimal in
+// core/optimal_policy.h), beyond-paper schemes (core/multilevel_policy.h,
+// the jittered-threshold BH2 variant) sit next to them, and any new Policy
+// implementation joins by registration — no enum or switch to edit.
 #pragma once
 
 #include <functional>

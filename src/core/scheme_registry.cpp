@@ -1,0 +1,136 @@
+#include "core/scheme_registry.h"
+
+#include <utility>
+
+#include "core/bh2_policy.h"
+#include "core/home_policy.h"
+#include "core/multilevel_policy.h"
+#include "core/optimal_policy.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace insomnia::core {
+
+void SchemeRegistry::add(SchemeSpec spec) {
+  util::require(!spec.name.empty(), "scheme name must not be empty");
+  util::require(static_cast<bool>(spec.make_policy),
+                "scheme \"" + spec.name + "\" needs a policy factory");
+  util::require(index_.find(spec.name) == index_.end(),
+                "scheme \"" + spec.name + "\" is already registered");
+  index_.emplace(spec.name, specs_.size());
+  specs_.push_back(std::move(spec));
+}
+
+bool SchemeRegistry::contains(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+const SchemeSpec& SchemeRegistry::find(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw util::InvalidArgument("unknown scheme \"" + name + "\"; valid schemes: " +
+                                util::join(names(), ", "));
+  }
+  return specs_[it->second];
+}
+
+std::vector<std::string> SchemeRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const SchemeSpec& spec : specs_) out.push_back(spec.name);
+  return out;
+}
+
+namespace {
+
+template <typename P, typename... Args>
+std::function<std::unique_ptr<Policy>(const ScenarioConfig&)> factory(Args... args) {
+  return [args...](const ScenarioConfig&) -> std::unique_ptr<Policy> {
+    return std::make_unique<P>(args...);
+  };
+}
+
+SchemeRegistry built_ins() {
+  SchemeRegistry registry;
+  // The paper's eight §5.1 scheme/fabric combinations, in figure order.
+  registry.add({"no-sleep", "No-sleep", "baseline: everything always on",
+                dslam::SwitchMode::kFixed, false, factory<NoSleepPolicy>()});
+  registry.add({"soi", "SoI", "Sleep-on-Idle, fixed DSLAM wiring",
+                dslam::SwitchMode::kFixed, false, factory<SoiPolicy>()});
+  registry.add({"soi-kswitch", "SoI + k-switch", "Sleep-on-Idle over 4-switches",
+                dslam::SwitchMode::kKSwitch, false, factory<SoiPolicy>()});
+  registry.add({"soi-fullswitch", "SoI + full-switch",
+                "Sleep-on-Idle over a full switch (§5.2.3 comparison)",
+                dslam::SwitchMode::kFullSwitch, false, factory<SoiPolicy>()});
+  registry.add({"bh2-kswitch", "BH2 + k-switch",
+                "Broadband Hitch-Hiking over 4-switches — the headline scheme",
+                dslam::SwitchMode::kKSwitch, true,
+                [](const ScenarioConfig& config) -> std::unique_ptr<Policy> {
+                  return std::make_unique<Bh2Policy>(config.bh2.backup);
+                }});
+  registry.add({"bh2-nobackup-kswitch", "BH2 w/o backup + k-switch",
+                "BH2 without backup associations (Fig. 7/9)",
+                dslam::SwitchMode::kKSwitch, true, factory<Bh2Policy>(0)});
+  registry.add({"bh2-fullswitch", "BH2 + full-switch",
+                "BH2 over a full switch (§5.2.3 comparison)",
+                dslam::SwitchMode::kFullSwitch, true,
+                [](const ScenarioConfig& config) -> std::unique_ptr<Policy> {
+                  return std::make_unique<Bh2Policy>(config.bh2.backup);
+                }});
+  registry.add({"optimal", "Optimal",
+                "centralized ILP + instantaneous full switching (upper bound)",
+                dslam::SwitchMode::kFullSwitch, false, factory<OptimalPolicy>()});
+
+  // Beyond-paper built-ins: the extension path the registry exists for.
+  registry.add({"bh2-jitter", "BH2 + k-switch (jittered thresholds)",
+                "BH2 with per-terminal load thresholds scaled by U(0.75, 1.25)",
+                dslam::SwitchMode::kKSwitch, true,
+                [](const ScenarioConfig& config) -> std::unique_ptr<Policy> {
+                  return std::make_unique<Bh2Policy>(config.bh2.backup,
+                                                     /*threshold_jitter=*/0.25);
+                }});
+  registry.add({"multilevel-doze", "Multi-level doze",
+                "shallow/deep doze states; deep wake-ups avoided via active neighbours",
+                dslam::SwitchMode::kKSwitch, true, factory<MultiLevelDozePolicy>()});
+  return registry;
+}
+
+}  // namespace
+
+SchemeRegistry& scheme_registry() {
+  static SchemeRegistry registry = built_ins();
+  return registry;
+}
+
+const SchemeSpec& find_scheme(const std::string& name) { return scheme_registry().find(name); }
+
+RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
+                      const trace::FlowTrace& flows, const SchemeSpec& spec,
+                      std::uint64_t seed) {
+  ScenarioConfig configured = scenario;
+  configured.dslam.mode = spec.switch_mode;
+  sim::Random rng(seed);
+  const std::unique_ptr<Policy> policy = spec.make_policy(configured);
+  return AccessRuntime(configured, topology, flows, *policy, rng).run();
+}
+
+RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
+                      const trace::FlowTrace& flows, const std::string& scheme,
+                      std::uint64_t seed) {
+  return run_scheme(scenario, topology, flows, find_scheme(scheme), seed);
+}
+
+RunMetrics run_scheme_with_fabric(const ScenarioConfig& scenario,
+                                  const topo::AccessTopology& topology,
+                                  const trace::FlowTrace& flows, const SchemeSpec& spec,
+                                  dslam::SwitchMode mode, int switch_size,
+                                  std::uint64_t seed) {
+  ScenarioConfig configured = scenario;
+  configured.dslam.mode = mode;
+  configured.dslam.switch_size = switch_size;
+  sim::Random rng(seed);
+  const std::unique_ptr<Policy> policy = spec.make_policy(configured);
+  return AccessRuntime(configured, topology, flows, *policy, rng).run();
+}
+
+}  // namespace insomnia::core

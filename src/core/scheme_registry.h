@@ -1,0 +1,107 @@
+// String-keyed scheme registry: the extensible successor of the closed
+// SchemeKind enum. A SchemeSpec bundles everything one sleep scheme needs —
+// a Policy factory, the DSLAM switch fabric it assumes, and display
+// metadata — so adding a scheme is a registration, not a refactor of every
+// driver. The paper's eight §5.1 combinations are pre-registered built-ins;
+// two beyond-paper schemes (threshold-jittered BH2, multi-level doze) show
+// the extension path, and scripts/drivers select any of them by name via
+// --scheme/--list-schemes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/runtime.h"
+#include "core/scenario.h"
+#include "dslam/dslam.h"
+#include "topology/access_topology.h"
+#include "trace/records.h"
+
+namespace insomnia::core {
+
+/// Everything the engine needs to run one registered scheme.
+struct SchemeSpec {
+  /// Selection token (kebab-case; what --scheme and RunSpec carry).
+  std::string name;
+  /// Human-readable name as used in the paper's figures / banners.
+  std::string display;
+  /// One-line description for --list-schemes.
+  std::string summary;
+  /// The HDF fabric the scheme assumes (applied to the scenario's DSLAM).
+  dslam::SwitchMode switch_mode = dslam::SwitchMode::kFixed;
+  /// Fig. 9b pairing: compare per-gateway online time against the same-run
+  /// SoI reference (the BH2-family fairness convention).
+  bool fairness_vs_soi = false;
+  /// Builds the scheme's user-side policy. Called once per simulated day
+  /// with the fully configured scenario (fabric already applied).
+  std::function<std::unique_ptr<Policy>(const ScenarioConfig&)> make_policy;
+};
+
+/// An ordered, name-indexed collection of SchemeSpecs. Lookups are O(1);
+/// iteration follows registration order (stable --list-schemes output).
+/// Registration is not thread-safe; register before spawning workers.
+class SchemeRegistry {
+ public:
+  SchemeRegistry() = default;
+
+  /// Registers a scheme. Throws util::InvalidArgument on an empty name, a
+  /// missing factory, or a duplicate name.
+  void add(SchemeSpec spec);
+
+  bool contains(const std::string& name) const;
+
+  /// Looks a scheme up by name; throws util::InvalidArgument listing the
+  /// valid names when `name` is unknown (a CLI typo must say what would
+  /// have worked).
+  const SchemeSpec& find(const std::string& name) const;
+
+  /// All registered schemes in registration order.
+  const std::vector<SchemeSpec>& specs() const { return specs_; }
+
+  /// Registered names in registration order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<SchemeSpec> specs_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// The process-wide registry, pre-loaded with the paper's eight schemes
+/// (names: no-sleep, soi, soi-kswitch, soi-fullswitch, bh2-kswitch,
+/// bh2-nobackup-kswitch, bh2-fullswitch, optimal) and the beyond-paper
+/// built-ins (bh2-jitter, multilevel-doze).
+SchemeRegistry& scheme_registry();
+
+/// scheme_registry().find(name).
+const SchemeSpec& find_scheme(const std::string& name);
+
+/// Runs one registered scheme over one day: applies the spec's switch
+/// fabric to the scenario, builds the policy, replays the trace. The same
+/// `topology` and `flows` must be passed to every scheme being compared
+/// (paired-run methodology); `seed` feeds only the scheme's own randomness.
+/// Bit-identical to the historical SchemeKind switch for the paper's eight
+/// schemes (pinned by tests/test_core_schemes.cpp golden shims).
+RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
+                      const trace::FlowTrace& flows, const SchemeSpec& spec,
+                      std::uint64_t seed);
+
+/// Name-keyed convenience over the global registry.
+RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
+                      const trace::FlowTrace& flows, const std::string& scheme,
+                      std::uint64_t seed);
+
+/// Runs a scheme's policy over an explicit HDF fabric — the switch-size
+/// ablation's entry point. `switch_size` is only read in kKSwitch mode and
+/// must divide the card count.
+RunMetrics run_scheme_with_fabric(const ScenarioConfig& scenario,
+                                  const topo::AccessTopology& topology,
+                                  const trace::FlowTrace& flows, const SchemeSpec& spec,
+                                  dslam::SwitchMode mode, int switch_size,
+                                  std::uint64_t seed);
+
+}  // namespace insomnia::core

@@ -1,95 +1,48 @@
 #include "core/schemes.h"
 
-#include "core/bh2_policy.h"
-#include "core/home_policy.h"
-#include "core/optimal_policy.h"
 #include "util/error.h"
 
 namespace insomnia::core {
 
-std::string scheme_name(SchemeKind kind) {
+std::string scheme_token(SchemeKind kind) {
   switch (kind) {
     case SchemeKind::kNoSleep:
-      return "No-sleep";
+      return "no-sleep";
     case SchemeKind::kSoi:
-      return "SoI";
+      return "soi";
     case SchemeKind::kSoiKSwitch:
-      return "SoI + k-switch";
+      return "soi-kswitch";
     case SchemeKind::kSoiFullSwitch:
-      return "SoI + full-switch";
+      return "soi-fullswitch";
     case SchemeKind::kBh2KSwitch:
-      return "BH2 + k-switch";
+      return "bh2-kswitch";
     case SchemeKind::kBh2NoBackupKSwitch:
-      return "BH2 w/o backup + k-switch";
+      return "bh2-nobackup-kswitch";
     case SchemeKind::kBh2FullSwitch:
-      return "BH2 + full-switch";
+      return "bh2-fullswitch";
     case SchemeKind::kOptimal:
-      return "Optimal";
+      return "optimal";
   }
   throw util::InvalidArgument("unknown scheme");
 }
 
-dslam::SwitchMode switch_mode_for(SchemeKind kind) {
-  switch (kind) {
-    case SchemeKind::kNoSleep:
-    case SchemeKind::kSoi:
-      return dslam::SwitchMode::kFixed;
-    case SchemeKind::kSoiKSwitch:
-    case SchemeKind::kBh2KSwitch:
-    case SchemeKind::kBh2NoBackupKSwitch:
-      return dslam::SwitchMode::kKSwitch;
-    case SchemeKind::kSoiFullSwitch:
-    case SchemeKind::kBh2FullSwitch:
-    case SchemeKind::kOptimal:
-      return dslam::SwitchMode::kFullSwitch;
-  }
-  throw util::InvalidArgument("unknown scheme");
+const SchemeSpec& scheme_spec(SchemeKind kind) { return find_scheme(scheme_token(kind)); }
+
+std::string scheme_name(SchemeKind kind) { return scheme_spec(kind).display; }
+
+dslam::SwitchMode switch_mode_for(SchemeKind kind) { return scheme_spec(kind).switch_mode; }
+
+RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
+                      const trace::FlowTrace& flows, SchemeKind kind, std::uint64_t seed) {
+  return run_scheme(scenario, topology, flows, scheme_spec(kind), seed);
 }
 
 RunMetrics run_bh2_with_fabric(const ScenarioConfig& scenario,
                                const topo::AccessTopology& topology,
                                const trace::FlowTrace& flows, dslam::SwitchMode mode,
                                int switch_size, std::uint64_t seed) {
-  ScenarioConfig configured = scenario;
-  configured.dslam.mode = mode;
-  configured.dslam.switch_size = switch_size;
-  sim::Random rng(seed);
-  Bh2Policy policy(configured.bh2.backup);
-  return AccessRuntime(configured, topology, flows, policy, rng).run();
-}
-
-RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
-                      const trace::FlowTrace& flows, SchemeKind kind, std::uint64_t seed) {
-  ScenarioConfig configured = scenario;
-  configured.dslam.mode = switch_mode_for(kind);
-
-  sim::Random rng(seed);
-  switch (kind) {
-    case SchemeKind::kNoSleep: {
-      NoSleepPolicy policy;
-      return AccessRuntime(configured, topology, flows, policy, rng).run();
-    }
-    case SchemeKind::kSoi:
-    case SchemeKind::kSoiKSwitch:
-    case SchemeKind::kSoiFullSwitch: {
-      SoiPolicy policy;
-      return AccessRuntime(configured, topology, flows, policy, rng).run();
-    }
-    case SchemeKind::kBh2KSwitch:
-    case SchemeKind::kBh2FullSwitch: {
-      Bh2Policy policy(configured.bh2.backup);
-      return AccessRuntime(configured, topology, flows, policy, rng).run();
-    }
-    case SchemeKind::kBh2NoBackupKSwitch: {
-      Bh2Policy policy(0);
-      return AccessRuntime(configured, topology, flows, policy, rng).run();
-    }
-    case SchemeKind::kOptimal: {
-      OptimalPolicy policy;
-      return AccessRuntime(configured, topology, flows, policy, rng).run();
-    }
-  }
-  throw util::InvalidArgument("unknown scheme");
+  return run_scheme_with_fabric(scenario, topology, flows, find_scheme("bh2-kswitch"), mode,
+                                switch_size, seed);
 }
 
 }  // namespace insomnia::core

@@ -1,5 +1,8 @@
-// The evaluated schemes (§5.1 "Algorithms for comparison") and a one-call
-// runner that wires the right policy and switch fabric together.
+// The paper's eight evaluated schemes (§5.1 "Algorithms for comparison") as
+// a closed enum, kept for figure-level code that enumerates exactly the
+// paper's combinations. Everything here is a thin shim over the extensible
+// string-keyed registry in core/scheme_registry.h — run_scheme(kind) and
+// run_scheme(name) are bit-identical (pinned by tests/test_core_schemes.cpp).
 #pragma once
 
 #include <cstdint>
@@ -8,6 +11,7 @@
 #include "core/metrics.h"
 #include "core/runtime.h"
 #include "core/scenario.h"
+#include "core/scheme_registry.h"
 #include "topology/access_topology.h"
 #include "trace/records.h"
 
@@ -25,6 +29,12 @@ enum class SchemeKind {
   kOptimal,             ///< centralized ILP + instantaneous full switching
 };
 
+/// Registry token of a paper scheme ("no-sleep", "soi", ..., "optimal").
+std::string scheme_token(SchemeKind kind);
+
+/// The registered spec behind a paper scheme.
+const SchemeSpec& scheme_spec(SchemeKind kind);
+
 /// Human-readable scheme name as used in the paper's figures.
 std::string scheme_name(SchemeKind kind);
 
@@ -38,8 +48,7 @@ RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology
                       const trace::FlowTrace& flows, SchemeKind kind, std::uint64_t seed);
 
 /// Runs BH2 (backup count from scenario.bh2) over an explicit HDF fabric —
-/// the switch-size ablation's entry point. `switch_size` is only read in
-/// kKSwitch mode and must divide the card count.
+/// see run_scheme_with_fabric for the name-keyed general form.
 RunMetrics run_bh2_with_fabric(const ScenarioConfig& scenario,
                                const topo::AccessTopology& topology,
                                const trace::FlowTrace& flows, dslam::SwitchMode mode,

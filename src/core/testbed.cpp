@@ -34,6 +34,7 @@ trace::FlowTrace fold_window(const trace::FlowTrace& flows, const std::vector<in
 TestbedResult run_testbed_emulation(const TestbedConfig& config) {
   util::require(config.window_end > config.window_start, "empty testbed window");
   util::require(config.runs >= 1, "testbed needs at least one run");
+  const SchemeSpec& under_test = find_scheme(config.scheme);
 
   // Scenario: 9 clients (one replay terminal per gateway), warm start,
   // 3 Mbps lines, one fixed-wiring line card (no DSLAM side in the testbed).
@@ -97,10 +98,10 @@ TestbedResult run_testbed_emulation(const TestbedConfig& config) {
     const topo::AccessTopology topology =
         topo::limit_gateways_per_client(dense, config.max_gateways_in_range, rng);
 
-    const RunMetrics soi = run_scheme(scenario, topology, window, SchemeKind::kSoi,
+    const RunMetrics soi = run_scheme(scenario, topology, window, scheme_spec(SchemeKind::kSoi),
                                       config.seed + static_cast<std::uint64_t>(run) * 31 + 1);
     const RunMetrics bh2 =
-        run_scheme(scenario, topology, window, SchemeKind::kBh2NoBackupKSwitch,
+        run_scheme(scenario, topology, window, under_test,
                    config.seed + static_cast<std::uint64_t>(run) * 31 + 2);
 
     soi_series.push_back(soi.online_gateways.binned_means(0.0, scenario.duration, config.bins));

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/scenario.h"
@@ -23,9 +24,14 @@ struct TestbedConfig {
   std::uint64_t seed = 7;
   std::size_t bins = 30;           ///< one sample per minute
   ScenarioConfig base;             ///< trace model and timing parameters
+  /// Registered scheme compared against SoI (the deployment ran BH2
+  /// without backup). Any core/scheme_registry.h name works.
+  std::string scheme = "bh2-nobackup-kswitch";
 };
 
 /// Result: per-minute mean online APs for both schemes, plus averages.
+/// The bh2_* fields hold the configured `scheme` (BH2 w/o backup unless
+/// overridden).
 struct TestbedResult {
   std::vector<double> soi_online;  ///< per bin
   std::vector<double> bh2_online;

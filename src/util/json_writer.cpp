@@ -1,0 +1,179 @@
+#include "util/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace insomnia::util {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/Inf
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+std::string json_number(std::int64_t value) {
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+std::string json_number(std::uint64_t value) {
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+JsonWriter::JsonWriter() { out_.reserve(256); }
+
+void JsonWriter::raw(const std::string& text) {
+  begin_value();
+  out_ += text;
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::begin_value() {
+  require_state(!done_, "JSON document already complete");
+  if (stack_.empty()) return;  // root value
+  if (stack_.back() == Scope::kObject) {
+    require_state(key_pending_, "object member needs key() before its value");
+    key_pending_ = false;  // key() already wrote the comma
+  } else {
+    if (has_members_.back()) out_ += ',';
+    has_members_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  stack_.push_back(Scope::kObject);
+  has_members_.push_back(false);
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  require_state(!stack_.empty() && stack_.back() == Scope::kObject,
+                "end_object outside an object");
+  require_state(!key_pending_, "dangling key at end_object");
+  stack_.pop_back();
+  has_members_.pop_back();
+  out_ += '}';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  stack_.push_back(Scope::kArray);
+  has_members_.push_back(false);
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  require_state(!stack_.empty() && stack_.back() == Scope::kArray,
+                "end_array outside an array");
+  stack_.pop_back();
+  has_members_.pop_back();
+  out_ += ']';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  require_state(!stack_.empty() && stack_.back() == Scope::kObject,
+                "key() is only valid inside an object");
+  require_state(!key_pending_, "key() called twice without a value");
+  if (has_members_.back()) out_ += ',';
+  has_members_.back() = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  raw(json_number(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  raw(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  raw('"' + json_escape(v) + '"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::null_value() {
+  raw("null");
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(const std::string& encoded) {
+  raw(encoded);
+  return *this;
+}
+
+JsonWriter& JsonWriter::number_array(const std::string& name,
+                                     const std::vector<double>& values) {
+  key(name);
+  begin_array();
+  for (const double v : values) value(v);
+  return end_array();
+}
+
+const std::string& JsonWriter::str() const {
+  require_state(done_, "JSON document incomplete (open containers or no root value)");
+  return out_;
+}
+
+}  // namespace insomnia::util

@@ -1,0 +1,85 @@
+// Minimal streaming JSON writer for the structured run reports. Keys are
+// emitted in insertion order (stable goldens), numbers are formatted with
+// std::to_chars (locale-independent, shortest round-trip form), and
+// non-finite doubles — which JSON cannot represent — serialize as null.
+// The writer validates nesting as it goes: a malformed emission sequence
+// (value without a key inside an object, unbalanced end_*) throws
+// util::InvalidState instead of producing unparseable output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace insomnia::util {
+
+/// Escapes `text` for use inside a JSON string literal (quotes excluded).
+std::string json_escape(const std::string& text);
+
+/// Locale-independent number formatting: shortest form that round-trips
+/// (std::to_chars). NaN and infinities return "null".
+std::string json_number(double value);
+std::string json_number(std::int64_t value);
+std::string json_number(std::uint64_t value);
+
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  // Containers. The root value must be exactly one object or array.
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next member; only valid directly inside an object.
+  JsonWriter& key(const std::string& name);
+
+  // Values (the next member's value inside an object, or an array element).
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  /// Any integer type (int, long, std::size_t, std::uint64_t, ...).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  JsonWriter& value(T v) {
+    if (std::is_signed_v<T>) {
+      raw(json_number(static_cast<std::int64_t>(v)));
+    } else {
+      raw(json_number(static_cast<std::uint64_t>(v)));
+    }
+    return *this;
+  }
+  JsonWriter& null_value();
+  /// Emits `encoded` verbatim as the next value. The caller guarantees it
+  /// is one valid JSON value (e.g. produced by json_number/json_escape).
+  JsonWriter& raw_value(const std::string& encoded);
+
+  // Conveniences: key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+  JsonWriter& number_array(const std::string& name, const std::vector<double>& values);
+
+  /// The finished document. Throws util::InvalidState while containers are
+  /// still open or nothing was written.
+  const std::string& str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void begin_value();  ///< comma/key bookkeeping shared by every emission
+  void raw(const std::string& text);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_members_;  ///< parallel to stack_
+  bool key_pending_ = false;       ///< key() emitted, value outstanding
+  bool done_ = false;              ///< root value completed
+};
+
+}  // namespace insomnia::util

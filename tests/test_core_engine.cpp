@@ -1,0 +1,241 @@
+// Engine facade tests: RunSpec validation, bit-identity of Engine::run
+// against the run_scheme path for all eight paper schemes on a pinned seed,
+// thread-count invariance, and the RunReport JSON golden (stable key order,
+// locale-independent formatting).
+#include <clocale>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/home_policy.h"
+#include "core/metrics.h"
+#include "core/schemes.h"
+#include "sim/random.h"
+#include "topology/access_topology.h"
+#include "trace/synthetic_crawdad.h"
+#include "util/error.h"
+
+namespace insomnia::core {
+namespace {
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig scenario;
+  scenario.client_count = 48;
+  scenario.gateway_count = 8;
+  scenario.degrees.node_count = 8;
+  scenario.degrees.mean_degree = 4.0;
+  scenario.traffic.client_count = 48;
+  scenario.dslam.line_cards = 4;
+  scenario.dslam.ports_per_card = 2;
+  return scenario;
+}
+
+RunSpec small_spec(const std::string& scheme) {
+  RunSpec spec;
+  spec.scenario = small_scenario();
+  spec.scheme = scheme;
+  spec.seed = 42;
+  spec.runs = 2;
+  spec.bins = 8;
+  return spec;
+}
+
+TEST(EngineValidation, UnknownSchemeThrowsWithTheValidNames) {
+  RunSpec spec = small_spec("not-a-scheme");
+  try {
+    Engine().run(spec);
+    FAIL() << "expected util::InvalidArgument";
+  } catch (const util::InvalidArgument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown scheme \"not-a-scheme\""), std::string::npos) << message;
+    EXPECT_NE(message.find("bh2-kswitch"), std::string::npos) << message;
+    EXPECT_NE(message.find("multilevel-doze"), std::string::npos) << message;
+  }
+}
+
+TEST(EngineValidation, UnknownPresetThrowsWithTheValidNames) {
+  RunSpec spec;
+  spec.preset = "not-a-preset";
+  try {
+    Engine().run(spec);
+    FAIL() << "expected util::InvalidArgument";
+  } catch (const util::InvalidArgument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown scenario preset"), std::string::npos) << message;
+    EXPECT_NE(message.find("paper-default"), std::string::npos) << message;
+  }
+}
+
+TEST(EngineValidation, RejectsConflictingScenarioSources) {
+  RunSpec spec = small_spec("soi");
+  spec.preset = "paper-default";  // and an inline scenario: ambiguous
+  EXPECT_THROW(Engine().run(spec), util::InvalidArgument);
+}
+
+TEST(EngineValidation, RejectsDegenerateSpecs) {
+  RunSpec runs = small_spec("soi");
+  runs.runs = 0;
+  EXPECT_THROW(Engine().run(runs), util::InvalidArgument);
+  RunSpec bins = small_spec("soi");
+  bins.bins = 0;
+  EXPECT_THROW(Engine().run(bins), util::InvalidArgument);
+  RunSpec window = small_spec("soi");
+  window.peak_start = window.peak_end;
+  EXPECT_THROW(Engine().run(window), util::InvalidArgument);
+}
+
+TEST(EngineRun, BitIdenticalToRunSchemeForAllPaperSchemes) {
+  // The acceptance gate of the API redesign: for every paper scheme the
+  // Engine's per-day numbers equal the classic run_scheme path exactly —
+  // same topology substream (seed, 0, 7), per-run trace (seed, r, 1),
+  // baseline (seed, r, 2) and scheme (seed, r, 100) derivations.
+  const ScenarioConfig scenario = small_scenario();
+  const std::uint64_t seed = 42;
+  sim::Random topo_rng(sim::Random::substream_seed(seed, 0, 7));
+  const auto topology =
+      topo::make_overlap_topology(scenario.client_count, scenario.degrees, topo_rng);
+  const trace::SyntheticCrawdadGenerator generator(scenario.traffic);
+
+  for (const SchemeKind kind :
+       {SchemeKind::kNoSleep, SchemeKind::kSoi, SchemeKind::kSoiKSwitch,
+        SchemeKind::kSoiFullSwitch, SchemeKind::kBh2KSwitch, SchemeKind::kBh2NoBackupKSwitch,
+        SchemeKind::kBh2FullSwitch, SchemeKind::kOptimal}) {
+    const RunReport report = Engine().run(small_spec(scheme_token(kind)));
+    ASSERT_EQ(report.days.size(), 2u) << scheme_token(kind);
+
+    for (int run = 0; run < 2; ++run) {
+      sim::Random trace_rng(sim::Random::substream_seed(seed, run, 1));
+      const trace::FlowTrace flows = generator.generate(trace_rng);
+      const RunMetrics baseline = run_scheme(scenario, topology, flows, SchemeKind::kNoSleep,
+                                             sim::Random::substream_seed(seed, run, 2));
+      const RunMetrics metrics = run_scheme(scenario, topology, flows, kind,
+                                            sim::Random::substream_seed(seed, run, 100));
+      const EngineDay& day = report.days[static_cast<std::size_t>(run)];
+      EXPECT_EQ(day.baseline_user_energy, baseline.user_energy()) << scheme_token(kind);
+      EXPECT_EQ(day.baseline_isp_energy, baseline.isp_energy()) << scheme_token(kind);
+      EXPECT_EQ(day.user_energy, metrics.user_energy()) << scheme_token(kind);
+      EXPECT_EQ(day.isp_energy, metrics.isp_energy()) << scheme_token(kind);
+      EXPECT_EQ(day.wake_events, metrics.gateway_wake_events) << scheme_token(kind);
+      EXPECT_EQ(day.bh2_moves, metrics.bh2_moves) << scheme_token(kind);
+      EXPECT_EQ(day.bh2_home_returns, metrics.bh2_home_returns) << scheme_token(kind);
+      EXPECT_EQ(day.executed_events, metrics.executed_events) << scheme_token(kind);
+      EXPECT_EQ(day.flows, flows.size()) << scheme_token(kind);
+    }
+  }
+}
+
+TEST(EngineRun, ReportIsIdenticalForAnyThreadCount) {
+  RunSpec spec = small_spec("bh2-kswitch");
+  spec.runs = 4;
+  spec.threads = 1;
+  const std::string serial = Engine().run(spec).to_json();
+  spec.threads = 4;
+  const std::string sharded = Engine().run(spec).to_json();
+  EXPECT_EQ(serial, sharded);
+}
+
+TEST(EngineRun, PresetResolutionAndAggregates) {
+  RunSpec spec;
+  spec.scenario = small_scenario();
+  spec.scheme = "soi";
+  spec.runs = 1;
+  const RunReport report = Engine().run(spec);
+  EXPECT_EQ(report.preset, "(inline)");
+  EXPECT_EQ(report.scheme_display, "SoI");
+  EXPECT_EQ(report.clients, 48);
+  EXPECT_EQ(report.gateways, 8);
+  EXPECT_GT(report.day_savings, 0.0);
+  EXPECT_LT(report.day_savings, 1.0);
+  EXPECT_EQ(report.savings_series.size(), report.bins);
+  EXPECT_EQ(report.online_gateways_series.size(), report.bins);
+  // One-run aggregates equal the single day's numbers.
+  EXPECT_DOUBLE_EQ(report.day_savings, report.days[0].savings);
+  EXPECT_DOUBLE_EQ(report.peak_online_gateways, report.days[0].peak_online_gateways);
+}
+
+TEST(EngineRun, ResolvesSchemesInACallerSuppliedRegistry) {
+  SchemeRegistry registry;
+  SchemeSpec always_on;
+  always_on.name = "always-on";
+  always_on.display = "Always on";
+  always_on.switch_mode = dslam::SwitchMode::kFixed;
+  always_on.make_policy = [](const ScenarioConfig&) -> std::unique_ptr<Policy> {
+    return std::make_unique<NoSleepPolicy>();
+  };
+  registry.add(always_on);
+  SchemeSpec baseline = always_on;
+  baseline.name = "no-sleep";
+  baseline.display = "No-sleep";
+  registry.add(baseline);
+
+  RunSpec spec = small_spec("always-on");
+  spec.runs = 1;
+  const RunReport report = Engine(registry).run(spec);
+  EXPECT_EQ(report.scheme_display, "Always on");
+  // Identical policy to the baseline: zero savings by construction.
+  EXPECT_DOUBLE_EQ(report.day_savings, 0.0);
+}
+
+TEST(RunReportJson, GoldenDocumentWithStableKeyOrder) {
+  RunReport report;
+  report.scheme = "soi";
+  report.scheme_display = "SoI";
+  report.preset = "paper-default";
+  report.seed = 1;
+  report.runs = 1;
+  report.bins = 2;
+  report.peak_start = 0.5;
+  report.peak_end = 2;
+  report.clients = 3;
+  report.gateways = 4;
+  report.day_savings = 0.25;
+  report.day_isp_share = 0.5;
+  report.peak_online_gateways = 2;
+  report.mean_wake_events = 8;
+  report.executed_events = 99;
+  report.savings_series = {0.5, 0.25};
+  report.online_gateways_series = {2, 4};
+  EngineDay day;
+  day.baseline_user_energy = 10;
+  day.baseline_isp_energy = 6;
+  day.user_energy = 8;
+  day.isp_energy = 4;
+  day.savings = 0.25;
+  day.isp_share = 0.5;
+  day.peak_online_gateways = 2;
+  day.peak_online_cards = 1;
+  day.wake_events = 8;
+  day.bh2_moves = 0;
+  day.bh2_home_returns = 0;
+  day.executed_events = 99;
+  day.flows = 7;
+  report.days = {day};
+
+  const std::string expected =
+      "{\"report\":\"engine-run\",\"scheme\":\"soi\",\"scheme_display\":\"SoI\","
+      "\"preset\":\"paper-default\",\"trace_file\":\"\",\"seed\":1,\"runs\":1,"
+      "\"bins\":2,\"peak_start\":0.5,\"peak_end\":2,\"clients\":3,\"gateways\":4,"
+      "\"aggregate\":{\"day_savings\":0.25,\"day_isp_share\":0.5,"
+      "\"peak_online_gateways\":2,\"mean_wake_events\":8,\"executed_events\":99},"
+      "\"savings_series\":[0.5,0.25],\"online_gateways_series\":[2,4],"
+      "\"days\":[{\"baseline_user_energy\":10,\"baseline_isp_energy\":6,"
+      "\"user_energy\":8,\"isp_energy\":4,\"savings\":0.25,\"isp_share\":0.5,"
+      "\"peak_online_gateways\":2,\"peak_online_cards\":1,\"wake_events\":8,"
+      "\"bh2_moves\":0,\"bh2_home_returns\":0,\"executed_events\":99,\"flows\":7}]}";
+  EXPECT_EQ(report.to_json(), expected);
+
+  // The golden must survive a comma-decimal global locale (skipped when the
+  // locale is not installed).
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  if (std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr ||
+      std::setlocale(LC_ALL, "de_DE.utf8") != nullptr) {
+    EXPECT_EQ(report.to_json(), expected);
+  }
+  std::setlocale(LC_ALL, saved.c_str());
+}
+
+}  // namespace
+}  // namespace insomnia::core

@@ -24,7 +24,7 @@ MainExperimentConfig small_config() {
   config.scenario.dslam.ports_per_card = 2;
   config.runs = 2;
   config.bins = 12;
-  config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch, SchemeKind::kOptimal};
+  config.schemes = {"soi", "bh2-kswitch", "optimal"};
   return config;
 }
 
@@ -44,9 +44,9 @@ MainExperimentResult* MainExperimentFixture::result_ = nullptr;
 
 TEST_F(MainExperimentFixture, OneOutcomePerScheme) {
   EXPECT_EQ(result_->schemes.size(), 3u);
-  EXPECT_NO_THROW(result_->outcome(SchemeKind::kSoi));
-  EXPECT_NO_THROW(result_->outcome(SchemeKind::kOptimal));
-  EXPECT_THROW(result_->outcome(SchemeKind::kNoSleep), util::InvalidArgument);
+  EXPECT_NO_THROW(result_->outcome("soi"));
+  EXPECT_NO_THROW(result_->outcome("optimal"));
+  EXPECT_THROW(result_->outcome("no-sleep"), util::InvalidArgument);
 }
 
 TEST_F(MainExperimentFixture, SeriesHaveRequestedResolution) {
@@ -70,33 +70,33 @@ TEST_F(MainExperimentFixture, SavingsAreFractions) {
 }
 
 TEST_F(MainExperimentFixture, OptimalDominates) {
-  EXPECT_GT(result_->outcome(SchemeKind::kOptimal).day_savings,
-            result_->outcome(SchemeKind::kBh2KSwitch).day_savings);
-  EXPECT_GT(result_->outcome(SchemeKind::kBh2KSwitch).day_savings,
-            result_->outcome(SchemeKind::kSoi).day_savings);
+  EXPECT_GT(result_->outcome("optimal").day_savings,
+            result_->outcome("bh2-kswitch").day_savings);
+  EXPECT_GT(result_->outcome("bh2-kswitch").day_savings,
+            result_->outcome("soi").day_savings);
 }
 
 TEST_F(MainExperimentFixture, FairnessSamplesOnlyForBh2) {
-  EXPECT_TRUE(result_->outcome(SchemeKind::kSoi).online_time_variation.empty());
+  EXPECT_TRUE(result_->outcome("soi").online_time_variation.empty());
   // 2 runs x 8 gateways pooled.
-  EXPECT_EQ(result_->outcome(SchemeKind::kBh2KSwitch).online_time_variation.size(), 16u);
+  EXPECT_EQ(result_->outcome("bh2-kswitch").online_time_variation.size(), 16u);
 }
 
 TEST_F(MainExperimentFixture, FctSamplesPresent) {
-  EXPECT_FALSE(result_->outcome(SchemeKind::kSoi).fct_increase.empty());
-  EXPECT_FALSE(result_->outcome(SchemeKind::kBh2KSwitch).fct_increase.empty());
+  EXPECT_FALSE(result_->outcome("soi").fct_increase.empty());
+  EXPECT_FALSE(result_->outcome("bh2-kswitch").fct_increase.empty());
 }
 
 TEST_F(MainExperimentFixture, CountersAveraged) {
-  EXPECT_GT(result_->outcome(SchemeKind::kSoi).wake_events, 0.0);
-  EXPECT_GT(result_->outcome(SchemeKind::kBh2KSwitch).bh2_moves, 0.0);
-  EXPECT_DOUBLE_EQ(result_->outcome(SchemeKind::kOptimal).wake_events, 0.0);
+  EXPECT_GT(result_->outcome("soi").wake_events, 0.0);
+  EXPECT_GT(result_->outcome("bh2-kswitch").bh2_moves, 0.0);
+  EXPECT_DOUBLE_EQ(result_->outcome("optimal").wake_events, 0.0);
 }
 
 TEST(MainExperiment, RequiresSoiBeforeBh2ForFairness) {
   MainExperimentConfig config = small_config();
   config.runs = 1;
-  config.schemes = {SchemeKind::kBh2KSwitch, SchemeKind::kSoi};
+  config.schemes = {"bh2-kswitch", "soi"};
   EXPECT_THROW(run_main_experiment(config), util::InvalidState);
 }
 

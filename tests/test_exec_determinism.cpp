@@ -22,7 +22,7 @@ MainExperimentConfig small_config(int threads) {
   config.scenario.dslam.ports_per_card = 2;
   config.runs = 4;  // more runs than some thread counts, fewer than others
   config.bins = 12;
-  config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch};
+  config.schemes = {"soi", "bh2-kswitch"};
   config.threads = threads;
   return config;
 }

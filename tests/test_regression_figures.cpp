@@ -44,7 +44,7 @@ MainExperimentConfig pinned_config() {
   config.runs = 2;
   config.bins = 12;
   config.seed = 2025;
-  config.schemes = {SchemeKind::kSoi, SchemeKind::kBh2KSwitch, SchemeKind::kOptimal};
+  config.schemes = {"soi", "bh2-kswitch", "optimal"};
   config.threads = 1;
   return config;
 }
@@ -59,9 +59,9 @@ void expect_series(const std::vector<double>& actual, const std::vector<double>&
 
 TEST(RegressionMainExperiment, PinnedSeedRunMatchesGoldens) {
   const MainExperimentResult result = run_main_experiment(pinned_config());
-  const SchemeOutcome& soi = result.outcome(SchemeKind::kSoi);
-  const SchemeOutcome& bh2 = result.outcome(SchemeKind::kBh2KSwitch);
-  const SchemeOutcome& optimal = result.outcome(SchemeKind::kOptimal);
+  const SchemeOutcome& soi = result.outcome("soi");
+  const SchemeOutcome& bh2 = result.outcome("bh2-kswitch");
+  const SchemeOutcome& optimal = result.outcome("optimal");
 
   // Structural fairness-sample counts (runs x gateways for BH2, none for
   // the SoI reference) hold on any conforming standard library.

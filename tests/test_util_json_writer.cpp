@@ -1,0 +1,147 @@
+// JsonWriter unit tests: stable insertion-order emission, escaping,
+// locale-independent number formatting, and nesting validation.
+#include <clocale>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/json_writer.h"
+
+namespace insomnia::util {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("nul\x01""byte")), "nul\\u0001byte");
+  EXPECT_EQ(json_escape("§ utf-8 passes through"), "§ utf-8 passes through");
+}
+
+TEST(JsonNumber, FormatsDoublesRoundTrip) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(2.0), "2");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(-0.125), "-0.125");
+  // Shortest form that round-trips; must parse back to the same bits.
+  const double pi_ish = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(pi_ish)), pi_ish);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumber, Integers) {
+  EXPECT_EQ(json_number(std::int64_t{-42}), "-42");
+  EXPECT_EQ(json_number(std::uint64_t{18446744073709551615ull}), "18446744073709551615");
+}
+
+TEST(JsonNumber, IndependentOfTheGlobalLocale) {
+  // A comma-decimal locale must not leak into the JSON ("0,5" would not
+  // parse). Skipped silently when the locale is not installed.
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  if (std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr ||
+      std::setlocale(LC_ALL, "de_DE.utf8") != nullptr) {
+    EXPECT_EQ(json_number(0.5), "0.5");
+    EXPECT_EQ(json_number(1234.75), "1234.75");
+  }
+  std::setlocale(LC_ALL, saved.c_str());
+}
+
+TEST(JsonWriterTest, ObjectKeysKeepInsertionOrder) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("zulu", 1);
+  json.field("alpha", "two");
+  json.field("mike", 0.5);
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"zulu\":1,\"alpha\":\"two\",\"mike\":0.5}");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("list").begin_array();
+  json.value(1).value(2.5).value("three").value(true).null_value();
+  json.end_array();
+  json.key("inner").begin_object();
+  json.field("deep", false);
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"list\":[1,2.5,\"three\",true,null],\"inner\":{\"deep\":false}}");
+}
+
+TEST(JsonWriterTest, NumberArrayHelper) {
+  JsonWriter json;
+  json.begin_object();
+  json.number_array("xs", {0.0, 0.5, -1.0});
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"xs\":[0,0.5,-1]}");
+}
+
+TEST(JsonWriterTest, RawValuePassesThrough) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("pre").raw_value("[1,2]");
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"pre\":[1,2]}");
+}
+
+TEST(JsonWriterTest, RootScalarValue) {
+  JsonWriter json;
+  json.value(42);
+  EXPECT_EQ(json.str(), "42");
+}
+
+TEST(JsonWriterTest, NanValueSerializesAsNull) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("bad", std::nan(""));
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"bad\":null}");
+}
+
+TEST(JsonWriterTest, MalformedSequencesThrow) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1), InvalidState);  // member value without a key
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), InvalidState);  // mismatched close
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), InvalidState);  // keys only inside objects
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    json.key("dangling");
+    EXPECT_THROW(json.end_object(), InvalidState);
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), InvalidState);  // incomplete document
+  }
+  {
+    JsonWriter json;
+    json.value(1);
+    EXPECT_THROW(json.value(2), InvalidState);  // second root value
+  }
+}
+
+}  // namespace
+}  // namespace insomnia::util
