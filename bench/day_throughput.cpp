@@ -22,6 +22,7 @@
 
 #include "bench_common.h"
 #include "core/scenario_presets.h"
+#include "flow/fluid_network.h"
 #include "core/schemes.h"
 #include "sim/random.h"
 #include "util/json_writer.h"
@@ -134,8 +135,12 @@ int main(int argc, char** argv) {
   bench::banner("BENCH day_throughput",
                 "paired no-sleep + BH2 day wall-clock across presets");
   const core::SchemeSpec& scheme = bench::scheme_or("bh2-kswitch");
+  // Honour INSOMNIA_FLOW_ENGINE (scripts/perfbench.sh --engine) and record
+  // which fluid engine produced the numbers — reference/incremental
+  // snapshots are not comparable to each other.
+  const char* engine = flow::engine_kind_name(flow::engine_from_env());
   std::cout << runs << " paired day(s) per preset (no-sleep + " << scheme.display
-            << "), single worker\n\n";
+            << "), single worker, " << engine << " fluid engine\n\n";
 
   const std::uint64_t seed = 42;
   std::vector<PresetResult> results;
@@ -171,6 +176,7 @@ int main(int argc, char** argv) {
   util::JsonWriter json;
   json.begin_object();
   json.field("benchmark", "day_throughput");
+  json.field("engine", engine);
   json.key("schemes").begin_array();
   json.value("no-sleep").value(scheme.name);
   json.end_array();

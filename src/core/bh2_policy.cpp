@@ -12,6 +12,7 @@ Bh2Policy::Bh2Policy(int backup, double threshold_jitter)
 }
 
 void Bh2Policy::start(AccessRuntime& runtime) {
+  runtime_ = &runtime;
   config_ = runtime.scenario().bh2;
   config_.backup = backup_;
   const int clients = runtime.scenario().client_count;
@@ -25,7 +26,7 @@ void Bh2Policy::start(AccessRuntime& runtime) {
         runtime.topology().home_gateway[static_cast<std::size_t>(c)];
     // Random offset desynchronises the terminals (§3.1).
     const double offset = runtime.rng().uniform(0.0, config_.decision_period);
-    runtime.simulator().at(offset, [this, &runtime, c] { decision_epoch(runtime, c); });
+    runtime.simulator().at(offset, [this, c] { decision_epoch(*runtime_, c); });
     if (threshold_jitter_ > 0.0) {
       // One factor scales both thresholds, preserving the hysteresis band.
       const double factor =
@@ -60,7 +61,7 @@ void Bh2Policy::decision_epoch(AccessRuntime& runtime, int client) {
 
   if (runtime.simulator().now() < runtime.duration()) {
     runtime.simulator().after(config_.decision_period,
-                              [this, &runtime, client] { decision_epoch(runtime, client); });
+                              [this, client] { decision_epoch(*runtime_, client); });
   }
 }
 

@@ -58,6 +58,12 @@ class Bh2Policy : public Policy {
                                   : client_config_[static_cast<std::size_t>(client)];
   }
 
+  AccessRuntime* runtime_ = nullptr;  ///< bound in start(); the periodic
+                                      ///< decision closures capture only
+                                      ///< {this, client} (12 bytes) so they
+                                      ///< fit std::function's inline buffer
+                                      ///< instead of heap-allocating once
+                                      ///< per client per decision period
   bh2::Bh2Config config_;
   int backup_;
   double threshold_jitter_;

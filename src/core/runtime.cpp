@@ -44,7 +44,7 @@ AccessRuntime::AccessRuntime(const ScenarioConfig& scenario,
 
   std::vector<double> backhaul(static_cast<std::size_t>(scenario.gateway_count),
                                scenario.backhaul_bps);
-  network_ = std::make_unique<flow::FluidNetwork>(simulator_, std::move(backhaul));
+  network_ = flow::make_fluid_network(simulator_, std::move(backhaul));
   network_->reserve_flows(flows.size());
   network_->set_completion_handler([this](const flow::CompletedFlow& done) {
     if (done.id < metrics_.completion_time.size()) {

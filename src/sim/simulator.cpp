@@ -22,6 +22,13 @@ EventId Simulator::after(double delay, std::function<void()> action) {
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
+bool Simulator::flush_if_pending() {
+  if (!flush_pending_ || hook_ == nullptr) return false;
+  flush_pending_ = false;
+  hook_->flush();
+  return true;
+}
+
 void Simulator::run_until(double end_time, EventStream* stream) {
   util::require(end_time >= now_, "Simulator::run_until cannot rewind the clock");
   while (true) {
@@ -29,27 +36,44 @@ void Simulator::run_until(double end_time, EventStream* stream) {
     const double tq = queued ? queue_.next_time() : 0.0;
     const double ts =
         stream != nullptr ? stream->next_time() : std::numeric_limits<double>::infinity();
-    if (std::isfinite(ts) &&
-        (!queued || ts < tq || (ts == tq && stream->next_rank() < queue_.next_sequence()))) {
-      if (ts > end_time) break;
-      // Advance the clock before dispatching so the callback observes
-      // now() equal to its own firing time.
-      now_ = ts;
-      stream->fire();
-      ++executed_;
-      continue;
+    const bool stream_first =
+        std::isfinite(ts) &&
+        (!queued || ts < tq || (ts == tq && stream->next_rank() < queue_.next_sequence()));
+    if (!stream_first && !queued) {
+      if (flush_if_pending()) continue;  // flushed work may queue new events
+      break;
     }
-    if (!queued || tq > end_time) break;
-    now_ = tq;
-    queue_.run_next();
+    const double t = stream_first ? ts : tq;
+    if (t > end_time) {
+      if (flush_if_pending()) continue;
+      break;
+    }
+    // The flush barrier: deferred same-instant work must come current before
+    // the clock moves. Flushing may schedule events earlier than t (but
+    // always after now()), so re-evaluate what fires next.
+    if (t > now_ && flush_if_pending()) continue;
+    // Advance the clock before dispatching so the callback observes now()
+    // equal to its own firing time.
+    now_ = t;
+    if (stream_first) {
+      stream->fire();
+    } else {
+      queue_.run_next();
+    }
     ++executed_;
   }
   now_ = end_time;
 }
 
 void Simulator::run_to_completion() {
-  while (!queue_.empty()) {
-    now_ = queue_.next_time();
+  while (true) {
+    if (queue_.empty()) {
+      if (flush_if_pending()) continue;
+      break;
+    }
+    const double t = queue_.next_time();
+    if (t > now_ && flush_if_pending()) continue;
+    now_ = t;
     queue_.run_next();
     ++executed_;
   }

@@ -1,0 +1,150 @@
+// Property-based tests for the single-link max-min water-fill, the FP
+// kernel both fluid engines share. Randomized capacities/caps check the
+// classic max-min characterization rather than hand-picked outputs:
+//  * feasibility: 0 <= rate <= cap, sum(rates) <= capacity,
+//  * bottleneck saturation: demand >= capacity => the link is fully used;
+//    demand < capacity => every flow gets exactly its cap,
+//  * pairwise fairness: a flow strictly poorer than another is pinned at
+//    its own cap (no one can gain without a richer flow losing),
+//  * max_min_allocate and max_min_allocate_into are bit-identical,
+//    including when the _into scratch is reused warm across random shapes.
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flow/max_min.h"
+#include "sim/random.h"
+#include "util/error.h"
+
+namespace insomnia::flow {
+namespace {
+
+// Caps drawn from a deliberately lumpy mixture: exact zeros, sub-share
+// trickles, near-share contenders and effectively-uncapped giants, so every
+// branch of the water-fill (cap-limited and share-limited) is exercised.
+std::vector<double> random_caps(sim::Random& rng, int count, double capacity) {
+  std::vector<double> caps;
+  caps.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.08) {
+      caps.push_back(0.0);
+    } else if (roll < 0.4) {
+      caps.push_back(rng.uniform(0.0, capacity / std::max(1, count)));
+    } else if (roll < 0.8) {
+      caps.push_back(rng.uniform(0.0, 2.0 * capacity / std::max(1, count)));
+    } else {
+      caps.push_back(rng.uniform(capacity, 10.0 * capacity));
+    }
+  }
+  return caps;
+}
+
+TEST(MaxMinProperties, FeasibilityAndBottleneckSaturation) {
+  sim::Random rng(20260807);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int count = rng.uniform_int(1, 300);
+    const double capacity = rng.uniform(1e-3, 1e8);
+    const std::vector<double> caps = random_caps(rng, count, capacity);
+    const std::vector<double> rates = max_min_allocate(capacity, caps);
+    ASSERT_EQ(rates.size(), caps.size());
+
+    double total = 0.0;
+    double demand = 0.0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      ASSERT_GE(rates[i], 0.0) << "trial " << trial << " flow " << i;
+      ASSERT_LE(rates[i], caps[i]) << "trial " << trial << " flow " << i;
+      total += rates[i];
+      demand += caps[i];
+    }
+    ASSERT_LE(total, capacity * (1.0 + 1e-12) + 1e-12) << "trial " << trial;
+
+    if (demand >= capacity) {
+      // The link is the bottleneck: it must be saturated (up to FP roundoff
+      // of the sequential fill).
+      ASSERT_NEAR(total, capacity, capacity * 1e-9) << "trial " << trial;
+    } else {
+      // Demand-limited: every flow is pinned at its cap, exactly — the fill
+      // computes rate = min(cap, share) and share never drops below the
+      // smallest remaining cap.
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        ASSERT_EQ(rates[i], caps[i]) << "trial " << trial << " flow " << i;
+      }
+    }
+  }
+}
+
+TEST(MaxMinProperties, PairwiseFairness) {
+  // If flow i ends strictly poorer than flow j, i must be at its own cap:
+  // otherwise transferring rate from j to i would raise the minimum, which
+  // max-min forbids. Capped rates are assigned as `rate = cap` verbatim, so
+  // the cap check is exact; the strictness margin absorbs the water-fill's
+  // share roundoff.
+  sim::Random rng(77001);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int count = rng.uniform_int(2, 120);
+    const double capacity = rng.uniform(1e-3, 1e7);
+    const std::vector<double> caps = random_caps(rng, count, capacity);
+    const std::vector<double> rates = max_min_allocate(capacity, caps);
+    const double tol = capacity * 1e-12;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      for (std::size_t j = 0; j < rates.size(); ++j) {
+        if (rates[i] + tol < rates[j]) {
+          ASSERT_EQ(rates[i], caps[i])
+              << "trial " << trial << ": flow " << i << " (rate " << rates[i]
+              << ") is poorer than flow " << j << " (rate " << rates[j]
+              << ") yet below its cap " << caps[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(MaxMinProperties, AllocateIntoBitIdenticalWithWarmScratch) {
+  // The allocation-free form must agree bit for bit with the allocating
+  // one, with scratch and output reused across calls of varying size so
+  // stale capacity cannot leak between trials.
+  sim::Random rng(424242);
+  MaxMinScratch scratch;
+  std::vector<double> rates_into;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int count = rng.uniform_int(0, 200);
+    const double capacity = rng.bernoulli(0.05) ? 0.0 : rng.uniform(1e-3, 1e8);
+    const std::vector<double> caps = random_caps(rng, count, std::max(capacity, 1.0));
+    const std::vector<double> reference = max_min_allocate(capacity, caps);
+    max_min_allocate_into(capacity, caps, scratch, rates_into);
+    ASSERT_EQ(reference.size(), rates_into.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i], rates_into[i]) << "trial " << trial << " flow " << i;
+    }
+  }
+}
+
+TEST(MaxMinProperties, EdgeCases) {
+  // Deterministic boundary shapes the fuzz loops hit only by chance.
+  EXPECT_TRUE(max_min_allocate(5.0, {}).empty());
+
+  const std::vector<double> zero_cap = max_min_allocate(0.0, {1.0, 2.0});
+  EXPECT_EQ(zero_cap, (std::vector<double>{0.0, 0.0}));
+
+  const std::vector<double> all_zero = max_min_allocate(9.0, {0.0, 0.0, 0.0});
+  EXPECT_EQ(all_zero, (std::vector<double>{0.0, 0.0, 0.0}));
+
+  // Equal uncapped flows share exactly (6/3 is representable).
+  const std::vector<double> equal = max_min_allocate(6.0, {100.0, 100.0, 100.0});
+  EXPECT_EQ(equal, (std::vector<double>{2.0, 2.0, 2.0}));
+
+  // One tiny flow frees surplus for the other two.
+  const std::vector<double> skewed = max_min_allocate(6.0, {1.0, 100.0, 100.0});
+  EXPECT_EQ(skewed[0], 1.0);
+  EXPECT_EQ(skewed[1], 2.5);
+  EXPECT_EQ(skewed[2], 2.5);
+
+  EXPECT_THROW(max_min_allocate(-1.0, {1.0}), util::InvalidArgument);
+  EXPECT_THROW(max_min_allocate(1.0, {-0.5}), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::flow

@@ -82,9 +82,15 @@ TEST(HotPathAllocations, EventQueueScheduleRunCancelRescheduleIsAllocationFree) 
   EXPECT_GT(fired, 0);
 }
 
-TEST(HotPathAllocations, FluidNetworkSteadyStateStaysAllocationFree) {
+// Both engines must hold the allocation-freedom contract: the reference one
+// because it always did, the incremental one because its dirty list, gateway
+// heap and SoA compaction scratch are all warm-buffer reuse by design.
+class FluidNetworkAlloc : public ::testing::TestWithParam<flow::EngineKind> {};
+
+TEST_P(FluidNetworkAlloc, SteadyStateStaysAllocationFree) {
   sim::Simulator sim;
-  flow::FluidNetwork net(sim, {6e6, 6e6});
+  const auto owned = flow::make_fluid_network(sim, {6e6, 6e6}, GetParam());
+  flow::FluidNetwork& net = *owned;
   net.set_gateway_serving(0, true);
   net.set_gateway_serving(1, true);
   constexpr int kWarmup = 4000;
@@ -124,6 +130,13 @@ TEST(HotPathAllocations, FluidNetworkSteadyStateStaysAllocationFree) {
   EXPECT_LT(allocations, 24) << "inner loop is no longer allocation-free";
   EXPECT_GT(completed, kWarmup);  // the churn really completed flows
 }
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, FluidNetworkAlloc,
+                         ::testing::Values(flow::EngineKind::kReference,
+                                           flow::EngineKind::kIncremental),
+                         [](const ::testing::TestParamInfo<flow::EngineKind>& info) {
+                           return std::string(flow::engine_kind_name(info.param));
+                         });
 
 }  // namespace
 }  // namespace insomnia

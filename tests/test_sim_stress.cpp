@@ -1,8 +1,17 @@
 // Model-based stress tests: the event queue against a reference
-// implementation (sorted multimap), under random schedule/cancel/run
-// interleavings.
+// implementation (sorted multimap), under random schedule/cancel/
+// reschedule/allocate_sequence/run interleavings.
+//
+// The reference counts FIFO ranks exactly like the real queue — schedule,
+// reschedule and allocate_sequence each consume one rank — so the model
+// checks not just which event fires next but its exact sequence number,
+// pinning the rank semantics Simulator::EventStream interleaving relies on.
+// Retired handles (fired or cancelled) are kept and re-probed: the
+// generation stamp must keep rejecting them in O(1) even after their pool
+// slot has been recycled by later schedules.
 #include <algorithm>
 #include <map>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -15,7 +24,9 @@
 namespace insomnia::sim {
 namespace {
 
-/// Reference: ordered multimap from (time, sequence) to id.
+/// Reference: ordered multimap from (time, sequence) to id. Sequence ranks
+/// are allocated from the same counter discipline as EventQueue's, so the
+/// two structures must agree on `next_sequence()` exactly.
 class ReferenceQueue {
  public:
   EventId schedule(double t) {
@@ -32,10 +43,20 @@ class ReferenceQueue {
     }
     return false;
   }
+  /// Cancel + re-add under a fresh rank: among equal times a rescheduled
+  /// event fires after everything already queued.
+  bool reschedule(EventId id, double t) {
+    if (!cancel(id)) return false;
+    entries_.emplace(std::make_pair(t, sequence_++), id);
+    return true;
+  }
+  /// Burns one rank for an externally ordered event (EventStream).
+  std::uint64_t allocate_sequence() { return sequence_++; }
   bool empty() const { return entries_.empty(); }
-  std::pair<double, EventId> pop() {
+  std::pair<double, std::uint64_t> peek_key() const { return entries_.begin()->first; }
+  std::tuple<double, std::uint64_t, EventId> pop() {
     auto it = entries_.begin();
-    auto result = std::make_pair(it->first.first, it->second);
+    auto result = std::make_tuple(it->first.first, it->first.second, it->second);
     entries_.erase(it);
     return result;
   }
@@ -53,13 +74,25 @@ TEST_P(EventQueueModel, MatchesReferenceUnderRandomOps) {
   EventQueue queue;
   ReferenceQueue reference;
   // The queue's ids encode recycled (slot, generation) pairs, so the two
-  // id spaces differ; `pairs` keeps the correspondence for cancels, and the
-  // scheduled closure records which reference event actually ran.
+  // id spaces differ; `live` keeps the correspondence for cancels and
+  // reschedules, and the scheduled closure records which reference event
+  // actually ran. `dead` holds retired queue handles for staleness probes.
   std::vector<std::pair<EventId, EventId>> live;  // (queue id, reference id)
+  std::vector<EventId> dead;
   EventId last_fired = 0;
 
-  for (int step = 0; step < 3000; ++step) {
-    const int op = rng.uniform_int(0, 9);
+  const auto check_heads = [&] {
+    ASSERT_EQ(queue.empty(), reference.empty());
+    ASSERT_EQ(queue.size(), live.size());
+    if (!queue.empty()) {
+      const auto [ref_t, ref_seq] = reference.peek_key();
+      ASSERT_EQ(queue.next_time(), ref_t);
+      ASSERT_EQ(queue.next_sequence(), ref_seq) << "FIFO rank divergence at the head";
+    }
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const int op = rng.uniform_int(0, 12);
     if (op < 5) {
       // Schedule. Times are drawn coarse so ties are common.
       const double t = static_cast<double>(rng.uniform_int(0, 50));
@@ -69,7 +102,7 @@ TEST_P(EventQueueModel, MatchesReferenceUnderRandomOps) {
       ASSERT_TRUE(queue.is_pending(id));
       live.emplace_back(id, ref_id);
     } else if (op < 7 && !live.empty()) {
-      // Cancel a random live id (may already have fired).
+      // Cancel a random live id.
       const std::size_t pick = static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<int>(live.size()) - 1));
       const auto [id, ref_id] = live[pick];
@@ -77,30 +110,56 @@ TEST_P(EventQueueModel, MatchesReferenceUnderRandomOps) {
       const bool b = reference.cancel(ref_id);
       ASSERT_EQ(a, b) << "cancel divergence on id " << id;
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      dead.push_back(id);
+    } else if (op < 9 && !live.empty()) {
+      // Reschedule a random live id to a new (often tied) time. The closure
+      // stays; the event must take a fresh FIFO rank in both structures.
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+      const auto [id, ref_id] = live[pick];
+      const double t = static_cast<double>(rng.uniform_int(0, 50));
+      ASSERT_TRUE(queue.reschedule(id, t));
+      ASSERT_TRUE(reference.reschedule(ref_id, t));
+      ASSERT_TRUE(queue.is_pending(id));
+    } else if (op == 9) {
+      // Interleaved external stream rank: both counters burn one rank and
+      // must hand out the same number.
+      ASSERT_EQ(queue.allocate_sequence(), reference.allocate_sequence());
+    } else if (op == 10 && !dead.empty()) {
+      // Stale-handle probe: a retired id must stay invisible even after its
+      // slot was recycled by later schedules (generation stamp check).
+      const EventId stale = dead[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(dead.size()) - 1))];
+      ASSERT_FALSE(queue.is_pending(stale));
+      ASSERT_FALSE(queue.cancel(stale));
+      ASSERT_FALSE(queue.reschedule(stale, 10.0));
     } else if (!queue.empty()) {
       ASSERT_FALSE(reference.empty());
       const double t = queue.next_time();
-      const auto [ref_t, ref_id] = reference.pop();
+      const auto [ref_t, ref_seq, ref_id] = reference.pop();
       ASSERT_EQ(t, ref_t);
+      ASSERT_EQ(queue.next_sequence(), ref_seq);
       queue.run_next();
       ASSERT_EQ(last_fired, ref_id) << "fired a different event than the reference";
-      live.erase(std::remove_if(live.begin(), live.end(),
-                                [ref_id = ref_id](const std::pair<EventId, EventId>& p) {
-                                  return p.second == ref_id;
-                                }),
-                 live.end());
+      const auto fired = std::find_if(live.begin(), live.end(),
+                                      [ref_id = ref_id](const std::pair<EventId, EventId>& p) {
+                                        return p.second == ref_id;
+                                      });
+      ASSERT_NE(fired, live.end());
+      dead.push_back(fired->first);
+      live.erase(fired);
     } else {
       ASSERT_TRUE(reference.empty());
     }
-    ASSERT_EQ(queue.empty(), reference.empty());
-    ASSERT_EQ(queue.size(), live.size());
+    check_heads();
   }
-  // Drain both; order must match exactly.
+  // Drain both; order and ranks must match exactly.
   while (!queue.empty()) {
     ASSERT_FALSE(reference.empty());
     const double t = queue.next_time();
-    const auto [ref_t, ref_id] = reference.pop();
+    const auto [ref_t, ref_seq, ref_id] = reference.pop();
     ASSERT_EQ(t, ref_t);
+    ASSERT_EQ(queue.next_sequence(), ref_seq);
     queue.run_next();
     ASSERT_EQ(last_fired, ref_id) << "fired a different event than the reference";
   }
