@@ -117,9 +117,13 @@ inline std::string& json_path() {
   return path;
 }
 
-inline const core::SchemeSpec*& scheme_override_slot() {
-  static const core::SchemeSpec* spec = nullptr;
-  return spec;
+// The --scheme override is stored by NAME and resolved against the registry
+// at every use. Storing the SchemeSpec* (as this used to) dangles the
+// moment any scheme registered after flag parsing reallocates the
+// registry's backing vector (regression: tests/test_bench_common.cpp).
+inline std::string& scheme_override_name_slot() {
+  static std::string name;
+  return name;
 }
 
 inline bool& scheme_override_appended_slot() {
@@ -153,7 +157,12 @@ inline std::string num(double value, int decimals = 2) {
 }
 
 /// The --scheme override, or nullptr when the driver's default applies.
-inline const core::SchemeSpec* scheme_override() { return detail::scheme_override_slot(); }
+/// Resolved against the registry at call time, so the returned pointer is
+/// valid even when schemes were registered after flag parsing.
+inline const core::SchemeSpec* scheme_override() {
+  const std::string& name = detail::scheme_override_name_slot();
+  return name.empty() ? nullptr : &core::find_scheme(name);
+}
 
 /// The --json output path ("" when not requested). Most drivers let
 /// finish() write the DriverReport here; drivers whose natural structured
@@ -272,7 +281,8 @@ inline bool handle_common_flag(int argc, char** argv, int& i) {
   } else if (arg == "--scheme" || util::starts_with(arg, "--scheme=")) {
     const std::string name =
         arg == "--scheme" ? flag_value("--scheme") : arg.substr(9);
-    detail::scheme_override_slot() = &core::find_scheme(name);
+    core::find_scheme(name);  // typos fail at parse time, with the valid list
+    detail::scheme_override_name_slot() = name;
     return true;
   } else if (arg == "--json" || util::starts_with(arg, "--json=")) {
     detail::json_path() = arg == "--json" ? flag_value("--json") : arg.substr(7);
@@ -376,6 +386,9 @@ inline int runs_from_env(int fallback) {
 /// bit-identity convention cannot drift between drivers.
 template <typename Row, typename Get>
 double mean_over_runs(const std::vector<Row>& rows, Get get) {
+  // An empty sweep would silently divide by zero and put NaN in every
+  // driver table and --json report; fail loudly instead.
+  util::require(!rows.empty(), "mean_over_runs needs at least one sweep row");
   const int runs = static_cast<int>(rows.size());
   double total = 0.0;
   for (const Row& row : rows) total += get(row) / runs;

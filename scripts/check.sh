@@ -27,6 +27,26 @@ INSOMNIA_DIFF_SCENARIOS=${INSOMNIA_DIFF_SCENARIOS:-250} \
 # extrapolation) end to end through the real CLI.
 "$build_dir/city01_fleet" --size 4 --seed 7 > /dev/null
 
+# Small-N country fleet smoke: the whole src/country stack (portfolio
+# sampling -> sharded city sims -> checkpointed streaming roll-up -> fully
+# simulated §5.4 world figure) through the real CLI, including a forced
+# kill-and-resume cycle. The resumed run's JSON report must be BYTE-identical
+# to an uninterrupted run's (doubles serialize via shortest-round-trip
+# to_chars, so byte equality is bit equality).
+country_ckpt="$build_dir/country_smoke_ckpt"
+rm -rf "$country_ckpt"
+"$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
+  --checkpoint "$country_ckpt" --flush-every 1 --max-shards 2 \
+  --json "$build_dir/country01_partial.json" > /dev/null
+"$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
+  --checkpoint "$country_ckpt" \
+  --json "$build_dir/country01_resumed.json" > /dev/null
+"$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
+  --json "$build_dir/country01_fresh.json" > /dev/null
+cmp "$build_dir/country01_resumed.json" "$build_dir/country01_fresh.json"
+python3 -m json.tool "$build_dir/country01_resumed.json" > /dev/null
+rm -rf "$country_ckpt"
+
 # Scheme-registry + Engine smoke: a beyond-paper registered scheme end to
 # end through the unified CLI, with the structured RunReport JSON validated
 # by an independent parser.

@@ -1,6 +1,5 @@
 #include "city/city_metrics.h"
 
-#include <cmath>
 #include <utility>
 
 #include "util/error.h"
@@ -90,9 +89,6 @@ double CityMetrics::baseline_isp_watts_per_gateway() const {
   return fraction_or_zero(baseline_isp_watts_, static_cast<double>(total_gateways_));
 }
 
-double CityMetrics::savings_ci95_halfwidth() const {
-  if (savings_.count() < 2) return 0.0;
-  return 1.96 * savings_.stddev() / std::sqrt(static_cast<double>(savings_.count()));
-}
+double CityMetrics::savings_ci95_halfwidth() const { return stats::ci95_halfwidth(savings_); }
 
 }  // namespace insomnia::city

@@ -79,8 +79,18 @@ class CityMetrics {
   double baseline_household_watts_per_gateway() const;
   double baseline_isp_watts_per_gateway() const;
 
+  /// User/ISP components of the fleet draw and of the saved power — the
+  /// exact accumulators, so a country-level roll-up can fold cities without
+  /// re-deriving (and re-rounding) the splits.
+  double baseline_user_watts() const { return baseline_user_watts_; }
+  double baseline_isp_watts() const { return baseline_isp_watts_; }
+  double saved_user_watts() const { return saved_user_watts_; }
+  double saved_isp_watts() const { return saved_isp_watts_; }
+
   /// Unweighted across-neighbourhood savings distribution and its 95 %
-  /// normal-approximation confidence half-width (0 with < 2 neighbourhoods).
+  /// Student-t confidence half-width (0 with < 2 neighbourhoods). The t
+  /// critical value matters here: per-region slices of a country run can
+  /// hold only a handful of neighbourhoods, where z = 1.96 understates.
   const stats::RunningStats& neighbourhood_savings() const { return savings_; }
   double savings_ci95_halfwidth() const;
 

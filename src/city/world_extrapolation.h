@@ -1,6 +1,14 @@
 // Grounds the paper's §5.4 world extrapolation in a simulated fleet: the
 // savings fraction, the ISP share, and the per-subscriber draws all come
 // from a CityResult instead of the four constants the paper multiplies.
+//
+// SUPERSEDED for the §5.4 headline: this bridge scales ONE simulated city by
+// a constant subscriber count — a better envelope than the paper's four
+// constants, but still an envelope. The world TWh/yr figure is now produced
+// by the country layer (src/country/world_extrapolation.h, driver
+// bench/country01_fleet.cpp), which simulates a heterogeneous ≥1M-gateway
+// portfolio and derives the per-subscriber draws, savings, and 95 % CI from
+// it. Kept for single-city studies and the city01_fleet comparison rows.
 #pragma once
 
 #include "city/city_runner.h"

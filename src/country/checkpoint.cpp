@@ -1,0 +1,269 @@
+#include "country/checkpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace insomnia::country {
+
+namespace {
+
+constexpr const char* kMagic = "insomnia-country-checkpoint";
+
+std::string version_line() {
+  return std::string(kMagic) + " v" + std::to_string(kCheckpointVersion);
+}
+
+std::string hex_u64(std::uint64_t bits) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buffer;
+}
+
+// Doubles cross the checkpoint as their IEEE-754 bit pattern in hex: the
+// resume-equals-uninterrupted contract is BIT identity, and a decimal
+// round-trip would be one rounding away from breaking it.
+std::string hex_bits(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return hex_u64(bits);
+}
+
+bool parse_hex_u64(const std::string& token, std::uint64_t& out) {
+  if (token.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+    else return false;
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  out = bits;
+  return true;
+}
+
+bool parse_hex_double(const std::string& token, double& out) {
+  std::uint64_t bits;
+  if (!parse_hex_u64(token, bits)) return false;
+  std::memcpy(&out, &bits, sizeof(out));
+  return true;
+}
+
+// FNV-1a 64 over the canonical config serialization.
+class Fingerprint {
+ public:
+  void feed(std::string_view text) {
+    for (char c : text) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 1099511628211ull;
+    }
+    feed_byte('\x1f');  // field separator: "ab"+"c" must differ from "a"+"bc"
+  }
+  void feed(double value) { feed(hex_bits(value)); }
+  void feed(std::uint64_t value) { feed(hex_u64(value)); }
+  void feed(int value) { feed(static_cast<std::uint64_t>(value)); }
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  void feed_byte(char c) {
+    hash_ ^= static_cast<unsigned char>(c);
+    hash_ *= 1099511628211ull;
+  }
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& why) {
+  throw util::InvalidArgument("corrupt checkpoint " + path + ": " + why);
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const CountryConfig& config) {
+  Fingerprint fp;
+  fp.feed(config.seed);
+  fp.feed(config.scheme);
+  fp.feed(config.peak_start);
+  fp.feed(config.peak_end);
+  fp.feed(static_cast<std::uint64_t>(config.regions.size()));
+  for (const RegionConfig& region : config.regions) {
+    fp.feed(region.name);
+    fp.feed(region.cities);
+    fp.feed(static_cast<std::uint64_t>(region.portfolio.size()));
+    for (const CityTemplate& tmpl : region.portfolio) {
+      fp.feed(tmpl.name);
+      fp.feed(tmpl.weight);
+      fp.feed(tmpl.neighbourhoods_min);
+      fp.feed(tmpl.neighbourhoods_max);
+      fp.feed(static_cast<std::uint64_t>(tmpl.mix.size()));
+      for (const city::CityMixComponent& component : tmpl.mix) {
+        fp.feed(component.preset);
+        fp.feed(component.weight);
+        fp.feed(component.jitter.gateway_count_spread);
+        fp.feed(component.jitter.client_density_spread);
+        fp.feed(component.jitter.backhaul_sigma);
+        fp.feed(component.jitter.diurnal_phase_spread);
+      }
+    }
+  }
+  return fp.hash();
+}
+
+void write_checkpoint_file(const std::string& path, std::uint64_t fingerprint,
+                           const std::vector<CityDigest>& digests) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    util::require_state(static_cast<bool>(out), "cannot write checkpoint " + tmp);
+    out << version_line() << "\n";
+    out << "fingerprint " << hex_u64(fingerprint) << "\n";
+    for (const CityDigest& d : digests) {
+      out << "shard " << d.region << " " << d.city << " " << d.template_index << " "
+          << d.neighbourhoods << " " << d.gateways << " " << d.clients << " "
+          << d.wake_events << " " << d.savings.count();
+      for (double value :
+           {d.baseline_watts, d.scheme_watts, d.baseline_user_watts,
+            d.baseline_isp_watts, d.saved_user_watts, d.saved_isp_watts,
+            d.peak_online_gateways, d.savings.mean(), d.savings.m2(),
+            d.savings.min(), d.savings.max()}) {
+        out << " " << hex_bits(value);
+      }
+      out << "\n";
+    }
+    out << "end " << digests.size() << "\n";
+    out.flush();
+    util::require_state(static_cast<bool>(out), "failed writing checkpoint " + tmp);
+  }
+  // rename(2) within one directory is atomic: a kill leaves either the old
+  // complete file or the new complete file.
+  util::require_state(std::rename(tmp.c_str(), path.c_str()) == 0,
+                      "cannot rename checkpoint " + tmp + " -> " + path + ": " +
+                          std::strerror(errno));
+}
+
+std::vector<CityDigest> read_checkpoint_file(const std::string& path,
+                                             std::uint64_t fingerprint) {
+  std::ifstream in(path);
+  util::require(static_cast<bool>(in), "cannot read checkpoint " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) corrupt(path, "empty file");
+  if (line != version_line()) {
+    if (util::starts_with(line, kMagic)) {
+      throw util::InvalidArgument(
+          "checkpoint version mismatch in " + path + ": file says \"" + line +
+          "\", this build reads \"" + version_line() +
+          "\"; finish the run with the build that wrote it or start fresh");
+    }
+    corrupt(path, "bad header \"" + line + "\"");
+  }
+
+  if (!std::getline(in, line)) corrupt(path, "missing fingerprint line");
+  {
+    const std::vector<std::string> fields = util::split(line, ' ');
+    std::uint64_t bits = 0;
+    if (fields.size() != 2 || fields[0] != "fingerprint" ||
+        !parse_hex_u64(fields[1], bits)) {
+      corrupt(path, "bad fingerprint line \"" + line + "\"");
+    }
+    if (bits != fingerprint) {
+      throw util::InvalidArgument(
+          "checkpoint " + path +
+          " was written for a different country configuration (seed, scheme, or "
+          "portfolio changed); refusing to resume — delete the checkpoint "
+          "directory to start fresh");
+    }
+  }
+
+  std::vector<CityDigest> digests;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> fields = util::split(line, ' ');
+    if (fields.empty()) corrupt(path, "blank line");
+    if (fields[0] == "end") {
+      if (fields.size() != 2 || fields[1] != std::to_string(digests.size())) {
+        corrupt(path, "shard count mismatch at trailer \"" + line + "\"");
+      }
+      saw_end = true;
+      break;
+    }
+    if (fields[0] != "shard" || fields.size() != 20) {
+      corrupt(path, "bad shard line \"" + line + "\"");
+    }
+    CityDigest d;
+    const auto integer = [&](const std::string& token, const char* what) -> long long {
+      const auto parsed = util::parse_uint64(token);
+      if (!parsed.has_value()) corrupt(path, std::string("bad ") + what);
+      return static_cast<long long>(*parsed);
+    };
+    d.region = static_cast<std::uint32_t>(integer(fields[1], "region index"));
+    d.city = static_cast<std::uint32_t>(integer(fields[2], "city index"));
+    d.template_index = static_cast<std::size_t>(integer(fields[3], "template index"));
+    d.neighbourhoods = static_cast<std::size_t>(integer(fields[4], "neighbourhood count"));
+    d.gateways = static_cast<long>(integer(fields[5], "gateway count"));
+    d.clients = static_cast<long>(integer(fields[6], "client count"));
+    d.wake_events = static_cast<long>(integer(fields[7], "wake count"));
+    const auto stats_count = static_cast<std::size_t>(integer(fields[8], "stats count"));
+    double values[11];
+    for (int k = 0; k < 11; ++k) {
+      if (!parse_hex_double(fields[9 + k], values[k])) {
+        corrupt(path, "bad double field " + std::to_string(k));
+      }
+    }
+    d.baseline_watts = values[0];
+    d.scheme_watts = values[1];
+    d.baseline_user_watts = values[2];
+    d.baseline_isp_watts = values[3];
+    d.saved_user_watts = values[4];
+    d.saved_isp_watts = values[5];
+    d.peak_online_gateways = values[6];
+    d.savings = stats::RunningStats::from_moments(stats_count, values[7], values[8],
+                                                  values[9], values[10]);
+    digests.push_back(std::move(d));
+  }
+  if (!saw_end) {
+    corrupt(path, "truncated (no end trailer) — the writer was killed mid-write "
+                  "without the atomic rename; delete this file to discard it");
+  }
+  return digests;
+}
+
+std::vector<CityDigest> load_checkpoint_dir(const std::string& dir,
+                                            std::uint64_t fingerprint) {
+  namespace fs = std::filesystem;
+  std::vector<CityDigest> merged;
+  if (!fs::exists(dir)) return merged;
+  util::require(fs::is_directory(dir),
+                "checkpoint path " + dir + " exists but is not a directory");
+
+  // Deterministic load order (directory iteration order is not specified).
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ckpt") paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const std::string& path : paths) {
+    for (CityDigest& digest : read_checkpoint_file(path, fingerprint)) {
+      // Duplicates across resume attempts are bit-identical by construction
+      // (same config fingerprint => same shard result); first wins.
+      if (seen.insert({digest.region, digest.city}).second) {
+        merged.push_back(std::move(digest));
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace insomnia::country

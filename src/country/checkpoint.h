@@ -1,0 +1,65 @@
+// Versioned checkpoint files for country-scale runs. A multi-hour fleet run
+// must survive interruption: every completed city shard collapses to a
+// CityDigest, and digests are persisted as they complete so a resumed run
+// re-simulates only the missing cities and still folds a bit-identical
+// final CountryMetrics (the digest encoding round-trips every double by bit
+// pattern, never through decimal).
+//
+// Layout: a checkpoint is a DIRECTORY holding one or more `*.ckpt` files.
+// Each writer (one per process under --procs fan-out) owns a single file
+// and rewrites it atomically — write to `<file>.tmp`, then rename(2) — so a
+// kill at any instant leaves either the previous complete file or the new
+// complete file, never a torn one. Readers union every `*.ckpt` in the
+// directory; a shard recorded twice (possible across resume attempts) is
+// bit-identical by construction, so the first occurrence wins.
+//
+// File format (line-oriented text, strict):
+//   insomnia-country-checkpoint v1
+//   fingerprint <16 hex digits>
+//   shard <region> <city> <template> <nbhds> <gateways> <clients> <wakes>
+//         <savings-count> <11 x 16-hex-digit double bit patterns>
+//   ...
+//   end <shard-count>
+// A missing/short trailer, a malformed line, or a count mismatch is a
+// corrupt checkpoint and is rejected with a clear error; a different
+// version line or fingerprint is refused explicitly (a resume must never
+// silently mix configurations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "country/country_config.h"
+#include "country/country_metrics.h"
+
+namespace insomnia::country {
+
+/// The checkpoint format version this build reads and writes.
+inline constexpr int kCheckpointVersion = 1;
+
+/// Stable fingerprint of everything that determines shard results: seed,
+/// scheme, peak window, and the full region/portfolio structure. Two
+/// configs with equal fingerprints produce bit-identical digests per
+/// (region, city), which is what makes resuming under one safe.
+std::uint64_t config_fingerprint(const CountryConfig& config);
+
+/// Atomically (re)writes one checkpoint file holding `digests`.
+/// Throws util::InvalidState when the file cannot be written.
+void write_checkpoint_file(const std::string& path, std::uint64_t fingerprint,
+                           const std::vector<CityDigest>& digests);
+
+/// Parses one checkpoint file, verifying version, fingerprint, and
+/// structure. Throws util::InvalidArgument naming the file and the problem
+/// on any mismatch or corruption.
+std::vector<CityDigest> read_checkpoint_file(const std::string& path,
+                                             std::uint64_t fingerprint);
+
+/// Loads every `*.ckpt` file under `dir` (non-recursive) and unions the
+/// digests by (region, city), keeping the first occurrence. A missing
+/// directory yields an empty vector (a fresh run); any unreadable or
+/// mismatched file throws.
+std::vector<CityDigest> load_checkpoint_dir(const std::string& dir,
+                                            std::uint64_t fingerprint);
+
+}  // namespace insomnia::country

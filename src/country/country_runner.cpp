@@ -1,0 +1,256 @@
+#include "country/country_runner.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+#include "city/city_runner.h"
+#include "core/scheme_registry.h"
+#include "country/checkpoint.h"
+#include "exec/sweep_runner.h"
+#include "sim/random.h"
+#include "util/error.h"
+
+namespace insomnia::country {
+
+namespace {
+
+// Substream salts of the country layer. The city layer owns salts 11-15
+// (keyed on the city seed); these are keyed on the COUNTRY seed with
+// stream = region << 32 | city, so every city's identity is a pure function
+// of (country seed, region, city) and nothing else.
+constexpr std::uint64_t kCitySamplerSalt = 21;  ///< archetype draw + nbhd count
+constexpr std::uint64_t kCitySeedSalt = 22;     ///< the city's own seed
+
+using Shard = std::pair<std::uint32_t, std::uint32_t>;  // (region, city)
+
+std::uint64_t shard_stream(std::uint32_t region, std::uint32_t city) {
+  return (static_cast<std::uint64_t>(region) << 32) | city;
+}
+
+// Positional mix resolution, population-first with registry fallback —
+// the same contract city::run_city's population overload exposes.
+std::vector<core::ScenarioPreset> resolve_presets(
+    const std::vector<city::CityMixComponent>& mix,
+    const std::vector<core::ScenarioPreset>& population) {
+  std::vector<core::ScenarioPreset> resolved;
+  resolved.reserve(mix.size());
+  for (const city::CityMixComponent& component : mix) {
+    const core::ScenarioPreset* found = nullptr;
+    for (const core::ScenarioPreset& preset : population) {
+      if (preset.name == component.preset) {
+        found = &preset;
+        break;
+      }
+    }
+    resolved.push_back(found ? *found : core::find_scenario_preset(component.preset));
+  }
+  return resolved;
+}
+
+/// Owns one process's checkpoint file; lazily picks a name no other writer
+/// (live or left over from an earlier attempt) owns, then rewrites it
+/// atomically with every fresh digest of this invocation on each flush.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(std::string dir, std::uint64_t fingerprint)
+      : dir_(std::move(dir)), fingerprint_(fingerprint) {}
+
+  void flush(const std::vector<CityDigest>& fresh) {
+    if (dir_.empty() || fresh.empty()) return;
+    if (path_.empty()) path_ = claim_path();
+    write_checkpoint_file(path_, fingerprint_, fresh);
+  }
+
+ private:
+  std::string claim_path() const {
+    // Distinct pids keep concurrent workers apart; the existence probe keeps
+    // a recycled pid from clobbering a previous invocation's file (older
+    // files hold digests this invocation never re-simulates).
+    const std::string stem = dir_ + "/worker-" + std::to_string(::getpid());
+    std::string candidate = stem + ".ckpt";
+    for (int attempt = 1; std::filesystem::exists(candidate); ++attempt) {
+      candidate = stem + "-" + std::to_string(attempt) + ".ckpt";
+    }
+    return candidate;
+  }
+
+  std::string dir_;
+  std::uint64_t fingerprint_;
+  std::string path_;
+};
+
+/// Simulates `shards` in flush-sized parallel batches, checkpointing after
+/// each batch. Returns every digest produced (in shard-list order).
+std::vector<CityDigest> run_shard_list(const CountryConfig& config,
+                                       const std::vector<core::ScenarioPreset>& population,
+                                       const std::vector<Shard>& shards,
+                                       int flush_every, CheckpointWriter& writer) {
+  exec::SweepRunner runner(config.threads);
+  const std::size_t flush =
+      flush_every > 0 ? static_cast<std::size_t>(flush_every)
+                      : static_cast<std::size_t>(std::max(8, 2 * runner.threads()));
+  std::vector<CityDigest> fresh;
+  fresh.reserve(shards.size());
+  for (std::size_t start = 0; start < shards.size(); start += flush) {
+    const std::size_t count = std::min(flush, shards.size() - start);
+    std::vector<CityDigest> chunk = runner.run(count, [&](std::size_t i) {
+      const Shard& shard = shards[start + i];
+      return simulate_city(config, population, shard.first, shard.second);
+    });
+    for (CityDigest& digest : chunk) fresh.push_back(std::move(digest));
+    writer.flush(fresh);
+  }
+  return fresh;
+}
+
+}  // namespace
+
+CitySample sample_city(const CountryConfig& config, std::uint32_t region,
+                       std::uint32_t city_index) {
+  util::require(region < config.regions.size(), "region index out of range");
+  const RegionConfig& region_config = config.regions[region];
+  util::require(city_index < static_cast<std::uint32_t>(region_config.cities),
+                "city index out of range for region " + region_config.name);
+
+  const std::uint64_t stream = shard_stream(region, city_index);
+  sim::Random sampler(
+      sim::Random::substream_seed(config.seed, stream, kCitySamplerSalt));
+
+  std::vector<double> weights;
+  weights.reserve(region_config.portfolio.size());
+  for (const CityTemplate& tmpl : region_config.portfolio) weights.push_back(tmpl.weight);
+
+  CitySample sample;
+  sample.template_index = sampler.weighted_index(weights);
+  const CityTemplate& tmpl = region_config.portfolio[sample.template_index];
+
+  sample.city.mix = tmpl.mix;
+  sample.city.neighbourhoods =
+      sampler.uniform_int(tmpl.neighbourhoods_min, tmpl.neighbourhoods_max);
+  sample.city.seed = sim::Random::substream_seed(config.seed, stream, kCitySeedSalt);
+  sample.city.scheme = config.scheme;
+  // City shards are the parallel unit; each city runs its neighbourhoods
+  // serially so nested pools never oversubscribe (and the serial city path
+  // is the bit-identity reference anyway).
+  sample.city.threads = 1;
+  sample.city.peak_start = config.peak_start;
+  sample.city.peak_end = config.peak_end;
+  return sample;
+}
+
+CityDigest simulate_city(const CountryConfig& config,
+                         const std::vector<core::ScenarioPreset>& population,
+                         std::uint32_t region, std::uint32_t city_index) {
+  const CitySample sample = sample_city(config, region, city_index);
+  const city::CityResult result =
+      city::run_city(sample.city, resolve_presets(sample.city.mix, population));
+  return digest_from_city(result.metrics, region, city_index, sample.template_index);
+}
+
+CountryResult run_country(const CountryConfig& config, const CountryRunOptions& options,
+                          const std::vector<core::ScenarioPreset>& population) {
+  validate(config);
+  core::find_scheme(config.scheme);  // reject unknown schemes before any work
+  util::require(options.procs >= 1, "procs must be >= 1");
+  util::require(options.procs == 1 || !options.checkpoint_dir.empty(),
+                "process fan-out needs a checkpoint directory: the shared "
+                "checkpoint is how worker results reach the parent");
+
+  const std::uint64_t fingerprint = config_fingerprint(config);
+  const std::size_t total = total_city_shards(config);
+
+  // Resume: load whatever an earlier (interrupted) invocation completed.
+  std::vector<CityDigest> digests;
+  if (!options.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(options.checkpoint_dir);
+    digests = load_checkpoint_dir(options.checkpoint_dir, fingerprint);
+  }
+  std::set<Shard> have;
+  for (const CityDigest& digest : digests) have.insert({digest.region, digest.city});
+
+  std::vector<Shard> pending;
+  pending.reserve(total - std::min(total, have.size()));
+  for (std::uint32_t r = 0; r < config.regions.size(); ++r) {
+    const auto cities = static_cast<std::uint32_t>(config.regions[r].cities);
+    for (std::uint32_t c = 0; c < cities; ++c) {
+      if (have.find({r, c}) == have.end()) pending.push_back({r, c});
+    }
+  }
+  if (options.max_city_shards > 0 && pending.size() > options.max_city_shards) {
+    pending.resize(options.max_city_shards);
+  }
+
+  if (options.procs > 1 && !pending.empty()) {
+    // Process fan-out: round-robin the pending shards over `procs` children,
+    // forked BEFORE any thread pool exists in this process. Each child
+    // writes its own checkpoint file and exits via _exit (no shared stdio
+    // flush); results come back through the checkpoint directory.
+    std::vector<std::vector<Shard>> slices(
+        static_cast<std::size_t>(options.procs));
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      slices[i % slices.size()].push_back(pending[i]);
+    }
+    std::vector<pid_t> children;
+    for (std::size_t k = 0; k < slices.size(); ++k) {
+      if (slices[k].empty()) continue;
+      const pid_t pid = ::fork();
+      util::require_state(pid >= 0,
+                          std::string("fork failed: ") + std::strerror(errno));
+      if (pid == 0) {
+        int status = 0;
+        try {
+          CheckpointWriter writer(options.checkpoint_dir, fingerprint);
+          run_shard_list(config, population, slices[k], options.flush_every, writer);
+        } catch (const std::exception& error) {
+          std::fprintf(stderr, "country worker %zu failed: %s\n", k, error.what());
+          std::fflush(stderr);
+          status = 1;
+        }
+        ::_exit(status);
+      }
+      children.push_back(pid);
+    }
+    bool failed = false;
+    for (const pid_t pid : children) {
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) failed = true;
+    }
+    util::require_state(!failed,
+                        "a country worker process failed; completed shards stay "
+                        "in the checkpoint — fix the cause and rerun to resume");
+    // Everything the children produced (plus what was already there).
+    digests = load_checkpoint_dir(options.checkpoint_dir, fingerprint);
+  } else if (!pending.empty()) {
+    CheckpointWriter writer(options.checkpoint_dir, fingerprint);
+    std::vector<CityDigest> fresh =
+        run_shard_list(config, population, pending, options.flush_every, writer);
+    for (CityDigest& digest : fresh) digests.push_back(std::move(digest));
+  }
+
+  CountryResult result;
+  result.config = config;
+  result.completed_shards = digests.size();
+  result.complete = digests.size() == total;
+  if (result.complete) {
+    std::sort(digests.begin(), digests.end(), digest_order);
+    std::vector<std::string> names;
+    names.reserve(config.regions.size());
+    for (const RegionConfig& region : config.regions) names.push_back(region.name);
+    CountryMetrics metrics(std::move(names));
+    for (const CityDigest& digest : digests) metrics.add(digest);
+    result.metrics = std::move(metrics);
+  }
+  return result;
+}
+
+}  // namespace insomnia::country

@@ -1,0 +1,80 @@
+// The country engine: instantiates every city of the portfolio (archetype
+// draw -> neighbourhood count -> keyed city seed), simulates it through the
+// city layer, collapses it to a CityDigest, and folds the digests into
+// CountryMetrics in canonical order. City shards run across threads
+// (exec::SweepRunner), across processes (CountryRunOptions::procs, fork +
+// shared checkpoint directory), or across separate invocations
+// (checkpoint/resume) — all three produce bit-identical final aggregates
+// because every shard derives all randomness from substreams keyed on
+// (country seed, region, city) alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "city/city_config.h"
+#include "core/scenario_presets.h"
+#include "country/country_config.h"
+#include "country/country_metrics.h"
+
+namespace insomnia::country {
+
+/// One fully-derived city of the portfolio.
+struct CitySample {
+  std::size_t template_index = 0;  ///< which archetype the region drew
+  city::CityConfig city;           ///< mix, neighbourhood count, keyed seed
+};
+
+/// Derives city `city_index` of region `region` — a pure function of
+/// (config, region, city_index); sampling never consumes shared RNG state.
+CitySample sample_city(const CountryConfig& config, std::uint32_t region,
+                       std::uint32_t city_index);
+
+/// Simulates one city shard end to end and collapses it to a digest. Mix
+/// preset names resolve against `population` first (the test hook for
+/// shrunken scenarios, mirroring city::run_city's), then the registry.
+CityDigest simulate_city(const CountryConfig& config,
+                         const std::vector<core::ScenarioPreset>& population,
+                         std::uint32_t region, std::uint32_t city_index);
+
+/// Execution knobs orthogonal to what is simulated (none of these can
+/// change a digest, only how and when shards run).
+struct CountryRunOptions {
+  /// Directory for checkpoint files; "" disables checkpointing. Created if
+  /// missing; an existing checkpoint for the same config fingerprint is
+  /// resumed (completed shards are not re-simulated), a mismatched one is
+  /// refused.
+  std::string checkpoint_dir;
+  /// City shards between checkpoint rewrites (also the parallel batch
+  /// width); <= 0 selects max(8, 2 * worker threads).
+  int flush_every = 0;
+  /// Process fan-out: fork this many children, each simulating a
+  /// round-robin slice of the pending shards and writing its own checkpoint
+  /// file. Requires checkpoint_dir (the shared medium the results travel
+  /// through). 1 = in-process only.
+  int procs = 1;
+  /// Test/ops hook simulating an interruption: stop (after checkpointing)
+  /// once this many NEW shards completed this invocation. 0 = run to the
+  /// end.
+  std::size_t max_city_shards = 0;
+};
+
+/// Outcome of one run_country invocation.
+struct CountryResult {
+  CountryConfig config;
+  /// False when max_city_shards stopped the run early; the checkpoint (if
+  /// any) holds completed_shards digests and the same call resumes.
+  bool complete = false;
+  std::size_t completed_shards = 0;
+  /// Folded aggregates; populated only when complete.
+  CountryMetrics metrics;
+};
+
+/// Runs the whole country. `population` as in simulate_city (empty: resolve
+/// every preset name against the registry).
+CountryResult run_country(const CountryConfig& config,
+                          const CountryRunOptions& options = {},
+                          const std::vector<core::ScenarioPreset>& population = {});
+
+}  // namespace insomnia::country

@@ -1,0 +1,33 @@
+#include "country/world_extrapolation.h"
+
+#include "util/error.h"
+
+namespace insomnia::country {
+
+core::WorldExtrapolationConfig world_config_from_country(const CountryMetrics& metrics,
+                                                         double dsl_subscribers) {
+  util::require(metrics.neighbourhoods() > 0 && metrics.total_gateways() > 0,
+                "world extrapolation needs a non-empty simulated country");
+  core::WorldExtrapolationConfig config;
+  config.dsl_subscribers = dsl_subscribers;
+  config.household_watts = metrics.baseline_household_watts_per_gateway();
+  config.isp_watts_per_subscriber = metrics.baseline_isp_watts_per_gateway();
+  config.savings_fraction = metrics.savings_fraction();
+  core::validate(config);  // a degenerate fleet must not extrapolate quietly
+  return config;
+}
+
+CountryWorldEstimate annual_savings_from_country(const CountryMetrics& metrics,
+                                                 double dsl_subscribers) {
+  CountryWorldEstimate estimate;
+  estimate.config = world_config_from_country(metrics, dsl_subscribers);
+  estimate.split = core::annual_savings_split_twh(estimate.config,
+                                                  metrics.isp_share_of_savings());
+  estimate.savings_ci95 = metrics.savings_ci95_halfwidth();
+  const double access_twh_per_year =
+      core::world_access_watts(estimate.config) * 8760.0 / 1e12;
+  estimate.total_twh_ci95 = access_twh_per_year * estimate.savings_ci95;
+  return estimate;
+}
+
+}  // namespace insomnia::country

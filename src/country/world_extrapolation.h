@@ -1,0 +1,38 @@
+// The §5.4 world figure, produced the honest way: every input — the
+// per-subscriber household and ISP draws, the savings fraction, the ISP
+// share — comes from the country-scale simulated fleet (≥1M gateways at full
+// scale), and the headline TWh/yr carries a 95 % confidence interval
+// propagated from the across-neighbourhood savings distribution. This
+// retires the constants path (core::WorldExtrapolationConfig defaults) and
+// the single-city bridge (city/world_extrapolation.h) for the headline.
+#pragma once
+
+#include "core/extrapolation.h"
+#include "country/country_metrics.h"
+
+namespace insomnia::country {
+
+/// Builds the §5.4 inputs from a simulated country. Throws
+/// util::InvalidArgument on an empty or degenerate fleet.
+core::WorldExtrapolationConfig world_config_from_country(const CountryMetrics& metrics,
+                                                         double dsl_subscribers = 320e6);
+
+/// The full simulation-grounded world estimate.
+struct CountryWorldEstimate {
+  core::WorldExtrapolationConfig config;  ///< derived inputs, for reporting
+  core::SavingsSplitTwh split;            ///< central estimate, user/ISP split
+  /// Student-t 95 % half-width of the mean per-neighbourhood savings
+  /// fraction (dimensionless).
+  double savings_ci95 = 0.0;
+  /// The same half-width propagated to the annual figure: the world access
+  /// draw is treated as known (it is a sum over the simulated fleet, scaled),
+  /// so the TWh uncertainty is linear in the savings-fraction uncertainty.
+  double total_twh_ci95 = 0.0;
+};
+
+/// Computes the estimate: TWh/yr split by the simulated ISP share, with the
+/// 95 % CI from CountryMetrics::savings_ci95_halfwidth.
+CountryWorldEstimate annual_savings_from_country(const CountryMetrics& metrics,
+                                                 double dsl_subscribers = 320e6);
+
+}  // namespace insomnia::country

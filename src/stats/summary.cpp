@@ -39,12 +39,41 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats RunningStats::from_moments(std::size_t count, double mean, double m2,
+                                        double min, double max) {
+  RunningStats stats;
+  if (count == 0) return stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  stats.min_ = min;
+  stats.max_ = max;
+  return stats;
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double t_critical_95(std::size_t dof) {
+  // Two-sided 0.05 (upper 0.975 quantile), dof 1..30.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof - 1];
+  return 1.96;
+}
+
+double ci95_halfwidth(const RunningStats& stats) {
+  if (stats.count() < 2) return 0.0;
+  return t_critical_95(stats.count() - 1) * stats.stddev() /
+         std::sqrt(static_cast<double>(stats.count()));
+}
 
 double quantile(std::vector<double> values, double q) {
   util::require(!values.empty(), "quantile of empty sample");

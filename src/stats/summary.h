@@ -16,6 +16,15 @@ class RunningStats {
   /// Merges another accumulator into this one (parallel Welford).
   void merge(const RunningStats& other);
 
+  /// Reconstructs an accumulator from its exact internal moments (the values
+  /// returned by count()/mean()/m2()/min()/max()). This is the
+  /// checkpoint-resume bridge: serializing the five moments bit-exactly and
+  /// rebuilding through here yields an accumulator whose every subsequent
+  /// add()/merge() is bit-identical to the original's. `count` == 0 returns
+  /// a fresh accumulator regardless of the other arguments.
+  static RunningStats from_moments(std::size_t count, double mean, double m2,
+                                   double min, double max);
+
   /// Number of observations added.
   std::size_t count() const { return count_; }
 
@@ -24,6 +33,10 @@ class RunningStats {
 
   /// Unbiased sample variance; 0 with fewer than two observations.
   double variance() const;
+
+  /// Raw second central moment (Welford's M2); the counterpart of
+  /// from_moments for exact serialization.
+  double m2() const { return m2_; }
 
   /// Sample standard deviation.
   double stddev() const;
@@ -44,6 +57,18 @@ class RunningStats {
   double min_;
   double max_;
 };
+
+/// Two-sided 95 % critical value of Student's t distribution with `dof`
+/// degrees of freedom: the exact table value for dof <= 30, the normal
+/// z = 1.96 beyond (the table is within 0.5 % of z there). Small samples —
+/// e.g. the per-region neighbourhood counts of a country roll-up — need the
+/// t value; the normal approximation understates the interval by 6x at
+/// dof = 1. `dof` == 0 (fewer than two observations) returns 0.
+double t_critical_95(std::size_t dof);
+
+/// 95 % confidence half-width of the mean of `stats` using the Student-t
+/// critical value: t * stddev / sqrt(n). 0 with fewer than two observations.
+double ci95_halfwidth(const RunningStats& stats);
 
 /// Returns the q-quantile (0 <= q <= 1) of `values` using linear
 /// interpolation between order statistics. `values` is copied and sorted.

@@ -1,0 +1,72 @@
+// Regressions for the shared driver-flag layer (bench/bench_common.h):
+//   * the --scheme override must survive schemes being registered AFTER flag
+//     parsing (it used to store a SchemeSpec* into the registry's backing
+//     vector, which dangles on reallocation),
+//   * mean_over_runs must reject an empty sweep instead of silently dividing
+//     by zero and spreading NaN through tables and --json reports.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+#include "core/scheme_registry.h"
+#include "util/error.h"
+
+namespace insomnia {
+namespace {
+
+core::SchemeSpec filler_scheme(const std::string& name) {
+  core::SchemeSpec spec;
+  spec.name = name;
+  spec.display = name;
+  spec.summary = "test filler scheme";
+  spec.make_policy = [](const core::ScenarioConfig&) {
+    return std::unique_ptr<core::Policy>();  // never run by this test
+  };
+  return spec;
+}
+
+TEST(BenchCommon, SchemeOverrideSurvivesRegistrationAfterParsing) {
+  char prog[] = "driver";
+  char flag[] = "--scheme";
+  char name[] = "bh2-kswitch";
+  char* argv[] = {prog, flag, name};
+  int i = 1;
+  ASSERT_TRUE(bench::handle_common_flag(3, argv, i));
+
+  // Grow the registry far past any plausible small-vector capacity so the
+  // backing storage reallocates; a stored SchemeSpec* would now dangle.
+  core::SchemeRegistry& registry = core::scheme_registry();
+  for (int k = 0; k < 64; ++k) {
+    const std::string filler = "bench-common-filler-" + std::to_string(k);
+    if (!registry.contains(filler)) registry.add(filler_scheme(filler));
+  }
+
+  const core::SchemeSpec* spec = bench::scheme_override();
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->name, "bh2-kswitch");
+  // The override must be the registry's current spec, not a stale address.
+  EXPECT_EQ(spec, &core::find_scheme("bh2-kswitch"));
+}
+
+TEST(BenchCommon, SchemeFlagRejectsUnknownNamesAtParseTime) {
+  char prog[] = "driver";
+  char flag[] = "--scheme";
+  char name[] = "no-such-scheme";
+  char* argv[] = {prog, flag, name};
+  int i = 1;
+  EXPECT_THROW(bench::handle_common_flag(3, argv, i), util::InvalidArgument);
+}
+
+TEST(BenchCommon, MeanOverRunsRejectsEmptySweeps) {
+  const std::vector<double> empty;
+  EXPECT_THROW(bench::mean_over_runs(empty, [](double v) { return v; }),
+               util::InvalidArgument);
+  const std::vector<double> rows{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(bench::mean_over_runs(rows, [](double v) { return v; }), 2.0);
+}
+
+}  // namespace
+}  // namespace insomnia

@@ -63,8 +63,22 @@ TEST(CityMetrics, AcrossNeighbourhoodConfidenceInterval) {
   const stats::RunningStats& savings = metrics.neighbourhood_savings();
   EXPECT_EQ(savings.count(), 2u);
   EXPECT_DOUBLE_EQ(savings.mean(), 0.5);
+  // n = 2 means one degree of freedom: the Student-t critical value, not the
+  // normal 1.96 (which would understate the interval ~6.5x at this n).
   EXPECT_DOUBLE_EQ(metrics.savings_ci95_halfwidth(),
-                   1.96 * savings.stddev() / std::sqrt(2.0));
+                   12.706 * savings.stddev() / std::sqrt(2.0));
+}
+
+TEST(CityMetrics, ComponentWattAccessorsMatchTheSplits) {
+  CityMetrics metrics({"a"});
+  metrics.add(outcome(0, 300.0, 100.0, 0.25));
+  metrics.add(outcome(0, 100.0, 100.0, 0.75));
+  EXPECT_DOUBLE_EQ(metrics.baseline_user_watts(), 400.0);
+  EXPECT_DOUBLE_EQ(metrics.baseline_isp_watts(), 200.0);
+  EXPECT_DOUBLE_EQ(metrics.saved_user_watts(), 225.0 + 25.0);
+  EXPECT_DOUBLE_EQ(metrics.saved_isp_watts(), 75.0 + 25.0);
+  EXPECT_DOUBLE_EQ(metrics.baseline_user_watts() + metrics.baseline_isp_watts(),
+                   metrics.baseline_watts());
 }
 
 TEST(CityMetrics, PerPresetBreakdown) {

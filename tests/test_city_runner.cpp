@@ -153,7 +153,12 @@ TEST(CityRunner, PinnedSeedGoldenAggregates) {
   EXPECT_DOUBLE_EQ(metrics.savings_fraction(), 0.64136011288167882);
   EXPECT_DOUBLE_EQ(metrics.isp_share_of_savings(), 0.75793908434310842);
   EXPECT_DOUBLE_EQ(metrics.peak_online_gateways(), 10.827823445198296);
-  EXPECT_DOUBLE_EQ(metrics.savings_ci95_halfwidth(), 0.049395042564443215);
+  // n = 4 neighbourhoods: the half-width uses the Student-t critical value
+  // for 3 degrees of freedom (3.182) instead of the normal 1.96 the seed
+  // used — same stddev, wider (honest) interval. Old pinned value with
+  // z = 1.96 was 0.049395042564443215; this is that * 3.182 / 1.96.
+  EXPECT_DOUBLE_EQ(metrics.savings_ci95_halfwidth(),
+                   0.049395042564443215 / 1.96 * 3.182);
   ASSERT_EQ(metrics.per_preset().size(), 2u);
   EXPECT_EQ(metrics.per_preset()[0].neighbourhoods, 2u);
   EXPECT_EQ(metrics.per_preset()[1].neighbourhoods, 2u);

@@ -10,9 +10,9 @@
 namespace insomnia::core {
 namespace {
 
-TEST(ScenarioPresets, RegistryHasTheFourFamiliesPaperFirst) {
+TEST(ScenarioPresets, RegistryHasTheFiveFamiliesPaperFirst) {
   const auto& presets = scenario_presets();
-  ASSERT_EQ(presets.size(), 4u);
+  ASSERT_EQ(presets.size(), 5u);
   EXPECT_EQ(presets[0].name, "paper-default");
   std::set<std::string> names;
   for (const auto& preset : presets) {
@@ -22,6 +22,7 @@ TEST(ScenarioPresets, RegistryHasTheFourFamiliesPaperFirst) {
   EXPECT_EQ(names.size(), presets.size()) << "names must be unique";
   EXPECT_TRUE(names.count("dense-urban"));
   EXPECT_TRUE(names.count("sparse-rural"));
+  EXPECT_TRUE(names.count("developing-world"));
   EXPECT_TRUE(names.count("warm-start-testbed"));
 }
 
@@ -63,6 +64,14 @@ TEST(ScenarioPresets, PresetsActuallyDiffer) {
   EXPECT_LT(rural.degrees.mean_degree, paper.degrees.mean_degree);
   EXPECT_TRUE(warm.start_awake);
   EXPECT_FALSE(paper.start_awake);
+
+  // Developing-world: fewer gateways sharing more clients each, slower
+  // backhaul than even the rural stretch.
+  const ScenarioConfig dev = find_scenario_preset("developing-world").scenario;
+  EXPECT_LT(dev.gateway_count, rural.gateway_count);
+  EXPECT_GT(static_cast<double>(dev.client_count) / dev.gateway_count,
+            static_cast<double>(paper.client_count) / paper.gateway_count);
+  EXPECT_LT(dev.backhaul_bps, rural.backhaul_bps);
 }
 
 TEST(ScenarioPresets, UnknownNameThrowsListingValidNames) {

@@ -1,0 +1,188 @@
+// Checkpoint format guarantees: bit-exact digest round-trips, atomic-write
+// hygiene, and loud refusal of anything that is not a healthy checkpoint of
+// THIS configuration — corrupt or truncated files, other format versions,
+// other config fingerprints.
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "country/checkpoint.h"
+#include "country/country_config.h"
+#include "util/error.h"
+
+namespace insomnia::country {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "insomnia_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Digests with awkward doubles: negatives, denormal-ish magnitudes, values
+// that do not survive a short decimal round-trip.
+std::vector<CityDigest> sample_digests() {
+  std::vector<CityDigest> digests;
+  for (int i = 0; i < 3; ++i) {
+    CityDigest d;
+    d.region = static_cast<std::uint32_t>(i / 2);
+    d.city = static_cast<std::uint32_t>(i % 2);
+    d.template_index = static_cast<std::size_t>(i);
+    d.neighbourhoods = 4;
+    d.gateways = 100 + i;
+    d.clients = 900 + i;
+    d.baseline_watts = 0.1 + i;  // 0.1 is not exactly representable
+    d.scheme_watts = 1.0 / 3.0 + i;
+    d.baseline_user_watts = 1e-300;
+    d.baseline_isp_watts = 12345.6789;
+    d.saved_user_watts = -1.0 / 7.0;
+    d.saved_isp_watts = 2.0 / 7.0;
+    d.peak_online_gateways = 33.125 + i;
+    d.wake_events = 42 * (i + 1);
+    stats::RunningStats savings;
+    savings.add(0.6 + 0.01 * i);
+    savings.add(0.7);
+    savings.add(0.55);
+    savings.add(0.661);
+    d.savings = savings;
+    digests.push_back(d);
+  }
+  return digests;
+}
+
+void expect_same(const CityDigest& a, const CityDigest& b) {
+  EXPECT_EQ(a.region, b.region);
+  EXPECT_EQ(a.city, b.city);
+  EXPECT_EQ(a.template_index, b.template_index);
+  EXPECT_EQ(a.neighbourhoods, b.neighbourhoods);
+  EXPECT_EQ(a.gateways, b.gateways);
+  EXPECT_EQ(a.clients, b.clients);
+  EXPECT_EQ(a.wake_events, b.wake_events);
+  // Bit identity, not closeness: EXPECT_EQ on doubles is exact.
+  EXPECT_EQ(a.baseline_watts, b.baseline_watts);
+  EXPECT_EQ(a.scheme_watts, b.scheme_watts);
+  EXPECT_EQ(a.baseline_user_watts, b.baseline_user_watts);
+  EXPECT_EQ(a.baseline_isp_watts, b.baseline_isp_watts);
+  EXPECT_EQ(a.saved_user_watts, b.saved_user_watts);
+  EXPECT_EQ(a.saved_isp_watts, b.saved_isp_watts);
+  EXPECT_EQ(a.peak_online_gateways, b.peak_online_gateways);
+  EXPECT_EQ(a.savings.count(), b.savings.count());
+  EXPECT_EQ(a.savings.mean(), b.savings.mean());
+  EXPECT_EQ(a.savings.m2(), b.savings.m2());
+  EXPECT_EQ(a.savings.min(), b.savings.min());
+  EXPECT_EQ(a.savings.max(), b.savings.max());
+}
+
+std::string error_of(const std::function<void()>& action) {
+  try {
+    action();
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(CountryCheckpoint, RoundTripIsBitExact) {
+  const std::string dir = fresh_dir("roundtrip");
+  const std::string path = dir + "/worker-1.ckpt";
+  const std::vector<CityDigest> digests = sample_digests();
+
+  write_checkpoint_file(path, 0xfeedbeef, digests);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // atomic rename cleaned up
+
+  const std::vector<CityDigest> loaded = read_checkpoint_file(path, 0xfeedbeef);
+  ASSERT_EQ(loaded.size(), digests.size());
+  for (std::size_t i = 0; i < digests.size(); ++i) expect_same(digests[i], loaded[i]);
+}
+
+TEST(CountryCheckpoint, DirectoryLoadUnionsFilesKeepingTheFirstOccurrence) {
+  const std::string dir = fresh_dir("union");
+  std::vector<CityDigest> digests = sample_digests();
+  write_checkpoint_file(dir + "/worker-a.ckpt", 1, {digests[0], digests[1]});
+  // worker-b repeats shard (0,1) — across resume attempts duplicates are
+  // bit-identical, so first-wins is indistinguishable from dedup.
+  write_checkpoint_file(dir + "/worker-b.ckpt", 1, {digests[1], digests[2]});
+
+  const std::vector<CityDigest> loaded = load_checkpoint_dir(dir, 1);
+  ASSERT_EQ(loaded.size(), 3u);
+
+  EXPECT_TRUE(load_checkpoint_dir(dir + "-missing", 1).empty());
+}
+
+TEST(CountryCheckpoint, TruncatedCheckpointIsRejected) {
+  const std::string dir = fresh_dir("truncated");
+  const std::string path = dir + "/worker-1.ckpt";
+  write_checkpoint_file(path, 5, sample_digests());
+
+  // Chop the trailer off, as a kill mid-write (without the atomic rename)
+  // would have.
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) lines.push_back(line);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) contents += lines[i] + "\n";
+  }
+  std::ofstream(path, std::ios::trunc) << contents;
+
+  const std::string message =
+      error_of([&] { read_checkpoint_file(path, 5); });
+  EXPECT_NE(message.find("truncated"), std::string::npos) << message;
+  // And a mangled shard line is corrupt, not silently skipped.
+  std::ofstream(path, std::ios::trunc)
+      << "insomnia-country-checkpoint v1\nfingerprint 0000000000000005\n"
+      << "shard 0 0 nonsense\nend 1\n";
+  EXPECT_THROW(read_checkpoint_file(path, 5), util::InvalidArgument);
+}
+
+TEST(CountryCheckpoint, VersionMismatchIsRefusedExplicitly) {
+  const std::string dir = fresh_dir("version");
+  const std::string path = dir + "/worker-1.ckpt";
+  std::ofstream(path) << "insomnia-country-checkpoint v999\n"
+                      << "fingerprint 0000000000000001\nend 0\n";
+  const std::string message = error_of([&] { read_checkpoint_file(path, 1); });
+  EXPECT_NE(message.find("version mismatch"), std::string::npos) << message;
+}
+
+TEST(CountryCheckpoint, FingerprintMismatchIsRefusedExplicitly) {
+  const std::string dir = fresh_dir("fingerprint");
+  const std::string path = dir + "/worker-1.ckpt";
+  write_checkpoint_file(path, 10, sample_digests());
+  const std::string message = error_of([&] { read_checkpoint_file(path, 11); });
+  EXPECT_NE(message.find("different country configuration"), std::string::npos)
+      << message;
+}
+
+TEST(CountryCheckpoint, FingerprintTracksEverythingThatShapesResults) {
+  const CountryConfig base = default_country(0.01, 0.1);
+  const std::uint64_t fp = config_fingerprint(base);
+  EXPECT_EQ(fp, config_fingerprint(default_country(0.01, 0.1)));  // stable
+
+  CountryConfig changed = base;
+  changed.seed += 1;
+  EXPECT_NE(config_fingerprint(changed), fp);
+  changed = base;
+  changed.scheme = "soi";
+  EXPECT_NE(config_fingerprint(changed), fp);
+  changed = base;
+  changed.regions[2].cities += 1;
+  EXPECT_NE(config_fingerprint(changed), fp);
+  changed = base;
+  changed.regions[0].portfolio[0].mix[0].weight += 0.125;
+  EXPECT_NE(config_fingerprint(changed), fp);
+  // Execution knobs do NOT shape results and must not invalidate resumes.
+  changed = base;
+  changed.threads = 7;
+  EXPECT_EQ(config_fingerprint(changed), fp);
+}
+
+}  // namespace
+}  // namespace insomnia::country
