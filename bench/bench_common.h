@@ -17,6 +17,10 @@
 #include "core/scenario_presets.h"
 #include "core/scheme_registry.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
+#include "obs/profiler.h"
+#include "obs/telemetry.h"
+#include "obs/trace_export.h"
 #include "util/error.h"
 #include "util/json_writer.h"
 #include "util/strings.h"
@@ -76,6 +80,9 @@ class DriverReport {
     json.key("series").begin_object();
     for (const auto& [name, values] : series_) json.number_array(name, values);
     json.end_object();
+    // Run-dependent (wall times, RSS), so byte-compare consumers run with
+    // INSOMNIA_OBS=off or strip the key (scripts/check.sh does both).
+    if (obs::enabled()) obs::write_telemetry(json);
     json.end_object();
     return json.str();
   }
@@ -113,6 +120,11 @@ inline DriverReport& report() {
 namespace detail {
 
 inline std::string& json_path() {
+  static std::string path;
+  return path;
+}
+
+inline std::string& trace_path() {
   static std::string path;
   return path;
 }
@@ -169,6 +181,11 @@ inline const core::SchemeSpec* scheme_override() {
 /// result is something richer (engine01_run's RunReport) write it
 /// themselves.
 inline const std::string& json_path() { return detail::json_path(); }
+
+/// The --trace output path ("" when not requested). finish() exports the
+/// Chrome trace here; tracing itself is switched on at flag-parse time so
+/// the whole run is captured.
+inline const std::string& trace_path() { return detail::trace_path(); }
 
 /// The scheme this driver studies: the --scheme override when given, else
 /// the named registry default. Records the choice in the report.
@@ -230,15 +247,27 @@ inline void note_scheme_not_applicable() {
 /// Writes the structured report when --json PATH was given. Every driver
 /// returns finish() (or finish(code)) from main so the flag works uniformly.
 inline int finish(int code = 0) {
+  if (code != 0) return code;
   const std::string& path = detail::json_path();
-  if (path.empty() || code != 0) return code;
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "error: cannot write " << path << "\n";
-    return 1;
+  if (!path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return 1;
+    }
+    out << report().to_json() << "\n";
+    std::cout << "\nwrote " << path << "\n";
   }
-  out << report().to_json() << "\n";
-  std::cout << "\nwrote " << path << "\n";
+  const std::string& trace = detail::trace_path();
+  if (!trace.empty()) {
+    try {
+      obs::write_chrome_trace(trace);
+    } catch (const std::exception& error) {
+      std::cerr << "error: cannot write " << trace << ": " << error.what() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << trace << " (chrome://tracing / ui.perfetto.dev)\n";
+  }
   return 0;
 }
 
@@ -264,6 +293,8 @@ inline int threads_from_env_or_exit() {
 ///   * `--scheme NAME` / `--scheme=NAME` — selects a registered scheme; an
 ///     unknown name throws util::InvalidArgument listing the valid ones,
 ///   * `--json PATH` / `--json=PATH` — where finish() writes the report,
+///   * `--trace PATH` / `--trace=PATH` — enables phase tracing and makes
+///     finish() export a Chrome trace-event JSON (Perfetto-loadable) here,
 ///   * `--list-presets` — prints the scenario registry and exits 0,
 ///   * `--list-schemes` — prints the scheme registry and exits 0.
 /// Malformed values throw util::InvalidArgument (callers print and exit 1).
@@ -288,6 +319,14 @@ inline bool handle_common_flag(int argc, char** argv, int& i) {
     detail::json_path() = arg == "--json" ? flag_value("--json") : arg.substr(7);
     util::require(!detail::json_path().empty(), "--json needs a non-empty path");
     return true;
+  } else if (arg == "--trace" || util::starts_with(arg, "--trace=")) {
+    detail::trace_path() = arg == "--trace" ? flag_value("--trace") : arg.substr(8);
+    util::require(!detail::trace_path().empty(), "--trace needs a non-empty path");
+    // Switch event capture on now so everything after flag parsing lands in
+    // the trace. With INSOMNIA_OBS=off the file still comes out valid, just
+    // without events.
+    obs::enable_tracing();
+    return true;
   } else if (arg == "--list-presets") {
     for (const core::ScenarioPreset& preset : core::scenario_presets()) {
       std::cout << preset.name << " — " << preset.summary << "\n";
@@ -311,7 +350,7 @@ inline bool handle_common_flag(int argc, char** argv, int& i) {
 /// The usage tail shared by every driver's error message.
 inline const char* common_usage() {
   return " [--preset NAME] [--scheme NAME] [--threads N] [--json PATH]"
-         " [--list-presets] [--list-schemes]";
+         " [--trace PATH] [--list-presets] [--list-schemes]";
 }
 
 /// For drivers without driver-specific flags or a scenario to swap:
@@ -323,7 +362,8 @@ inline void parse_common_args_or_exit(int argc, char** argv) {
       if (handle_common_flag(argc, argv, i)) continue;
       throw util::InvalidArgument(
           "unknown argument \"" + std::string(argv[i]) + "\"; usage: " + argv[0] +
-          " [--scheme NAME] [--threads N] [--json PATH] [--list-presets] [--list-schemes]");
+          " [--scheme NAME] [--threads N] [--json PATH] [--trace PATH]"
+          " [--list-presets] [--list-schemes]");
     }
     threads_from_env_or_exit();
   } catch (const util::InvalidArgument& error) {

@@ -18,6 +18,7 @@
 #include "city/neighbourhood_sampler.h"
 #include "city/world_extrapolation.h"
 #include "core/extrapolation.h"
+#include "obs/heartbeat.h"
 #include "util/table.h"
 
 namespace {
@@ -97,7 +98,15 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n\n";
 
-  const city::CityResult result = city::run_city(config);
+  const city::CityResult result = [&] {
+    obs::Heartbeat::Options beat;
+    beat.label = "city";
+    beat.interval_sec = obs::Heartbeat::interval_from_env(2.0);
+    beat.total_shards = static_cast<std::uint64_t>(config.neighbourhoods);
+    beat.done_counter = "city.neighbourhoods_done";
+    const obs::Heartbeat heartbeat(beat);  // final summary prints on scope exit
+    return city::run_city(config);
+  }();
   const city::CityMetrics& metrics = result.metrics;
 
   util::TextTable table;

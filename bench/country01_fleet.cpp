@@ -21,6 +21,8 @@
 #include "country/country_config.h"
 #include "country/country_runner.h"
 #include "country/world_extrapolation.h"
+#include "obs/heartbeat.h"
+#include "obs/rss.h"
 #include "util/table.h"
 
 namespace {
@@ -83,6 +85,9 @@ Args parse_args(int argc, char** argv) {
   args.config.seed = seed;
   args.config.scheme = bench::scheme_or(args.config.scheme).name;
   country::validate(args.config);
+  // Progress heartbeat every 2 s by default; INSOMNIA_HEARTBEAT=SECONDS
+  // retunes it, "off" silences it.
+  args.options.heartbeat_sec = obs::Heartbeat::interval_from_env(2.0);
   return args;
 }
 
@@ -113,6 +118,12 @@ int main(int argc, char** argv) {
   std::cout << "\n\n";
 
   const country::CountryResult result = country::run_country(args.config, args.options);
+
+  const std::uint64_t rss = obs::rss_peak_bytes();
+  if (rss > 0) {
+    std::cout << "peak RSS: " << bench::num(static_cast<double>(rss) / (1024.0 * 1024.0), 1)
+              << " MiB\n";
+  }
 
   bench::report().set_field("seed", static_cast<unsigned long long>(args.config.seed));
   bench::report().set_field("city_shards", static_cast<long long>(shards));

@@ -13,11 +13,13 @@
 //
 // The harness is deliberately single-threaded: it measures the inner event
 // loop, not the sharding engine (scripts/speedup.sh covers that half).
-#include <chrono>
+#include <unistd.h>
+
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -84,19 +86,20 @@ PresetResult run_preset(const core::ScenarioPreset& preset, const core::SchemeSp
     sim::Random trace_rng(sim::Random::substream_seed(seed, run, 1));
     const trace::FlowTrace flows = generator.generate(trace_rng);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    // force=true: the harness must keep timing even under INSOMNIA_OBS=off
+    // (the CI overhead gate compares exactly those two modes).
+    obs::ScopeTimer timer("bench.paired_day", /*force=*/true);
     const core::RunMetrics baseline =
         run_scheme(scenario, topology, flows, core::find_scheme("no-sleep"),
                    sim::Random::substream_seed(seed, run, 2));
     const core::RunMetrics bh2 =
         run_scheme(scenario, topology, flows, scheme,
                    sim::Random::substream_seed(seed, run, 100));
-    const auto t1 = std::chrono::steady_clock::now();
 
     result.days += 2;
     result.events += baseline.executed_events + bh2.executed_events;
     result.flows += 2 * static_cast<std::uint64_t>(flows.size());
-    result.wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    result.wall_ms += timer.stop_ms();
   }
   return result;
 }
@@ -173,10 +176,26 @@ int main(int argc, char** argv) {
     std::cerr << "error: cannot write " << out_path << "\n";
     return 1;
   }
+  char hostname[256] = "unknown";
+  if (::gethostname(hostname, sizeof(hostname)) != 0) {
+    std::snprintf(hostname, sizeof(hostname), "unknown");
+  }
+  hostname[sizeof(hostname) - 1] = '\0';
+
   util::JsonWriter json;
   json.begin_object();
   json.field("benchmark", "day_throughput");
   json.field("engine", engine);
+  // The harness is single-threaded by design (see header comment); recorded
+  // so snapshot consumers never have to guess.
+  json.field("threads", 1);
+  json.field("obs_enabled", obs::enabled());
+  json.key("host").begin_object();
+  json.field("hostname", hostname);
+  json.field("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.field("compiler", __VERSION__);
+  json.end_object();
   json.key("schemes").begin_array();
   json.value("no-sleep").value(scheme.name);
   json.end_array();

@@ -6,8 +6,12 @@
 // figure driver.
 //
 // Usage: engine01_run [--preset NAME] [--scheme NAME] [--runs N] [--seed S]
-//                     [--bins N] [--trace PATH] [--threads N] [--json PATH]
-//                     [--list-presets] [--list-schemes]
+//                     [--bins N] [--trace-file PATH] [--threads N] [--json PATH]
+//                     [--trace PATH] [--list-presets] [--list-schemes]
+//
+// --trace-file replays a recorded flow trace (trace/trace_io.h) instead of
+// generating synthetic days; --trace (shared flag) exports a Chrome
+// profiling trace — two different things.
 #include <iostream>
 #include <fstream>
 #include <string>
@@ -43,13 +47,13 @@ int main(int argc, char** argv) {
         const auto parsed = util::parse_positive_int(value("--bins"));
         util::require(parsed.has_value(), "--bins must be a positive integer");
         spec.bins = static_cast<std::size_t>(*parsed);
-      } else if (arg == "--trace") {
-        spec.trace_file = value("--trace");
+      } else if (arg == "--trace-file") {
+        spec.trace_file = value("--trace-file");
       } else {
         throw util::InvalidArgument(
             "unknown argument \"" + arg + "\"; usage: " + argv[0] +
             " [--preset NAME] [--scheme NAME] [--runs N] [--seed S] [--bins N]"
-            " [--trace PATH] [--threads N] [--json PATH]"
+            " [--trace-file PATH] [--threads N] [--json PATH] [--trace PATH]"
             " [--list-presets] [--list-schemes]");
       }
     }
@@ -87,8 +91,13 @@ int main(int argc, char** argv) {
     if (!bench::json_path().empty()) {
       std::ofstream out(bench::json_path());
       util::require(static_cast<bool>(out), "cannot write " + bench::json_path());
-      out << report.to_json() << "\n";
+      out << report.to_json(/*include_telemetry=*/obs::enabled()) << "\n";
       std::cout << "wrote " << bench::json_path() << "\n";
+    }
+    if (!bench::trace_path().empty()) {
+      obs::write_chrome_trace(bench::trace_path());
+      std::cout << "wrote " << bench::trace_path()
+                << " (chrome://tracing / ui.perfetto.dev)\n";
     }
   } catch (const util::InvalidArgument& error) {
     std::cerr << error.what() << "\n";

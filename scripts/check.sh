@@ -24,28 +24,50 @@ INSOMNIA_DIFF_SCENARIOS=${INSOMNIA_DIFF_SCENARIOS:-250} \
 
 # Small-N city fleet smoke: exercises the whole src/city stack (sampler ->
 # sharded paired days -> streamed aggregates -> simulation-grounded §5.4
-# extrapolation) end to end through the real CLI.
-"$build_dir/city01_fleet" --size 4 --seed 7 > /dev/null
+# extrapolation) end to end through the real CLI, including the Chrome trace
+# export, validated by an independent JSON parser.
+"$build_dir/city01_fleet" --size 4 --seed 7 \
+  --trace "$build_dir/city01_smoke.trace" > /dev/null
+python3 -m json.tool "$build_dir/city01_smoke.trace" > /dev/null
 
 # Small-N country fleet smoke: the whole src/country stack (portfolio
 # sampling -> sharded city sims -> checkpointed streaming roll-up -> fully
 # simulated §5.4 world figure) through the real CLI, including a forced
 # kill-and-resume cycle. The resumed run's JSON report must be BYTE-identical
 # to an uninterrupted run's (doubles serialize via shortest-round-trip
-# to_chars, so byte equality is bit equality).
+# to_chars, so byte equality is bit equality). Telemetry is disabled for
+# these runs: the telemetry block carries wall-clock values, which would
+# break the byte comparison by construction.
 country_ckpt="$build_dir/country_smoke_ckpt"
 rm -rf "$country_ckpt"
-"$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
+INSOMNIA_OBS=off "$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
   --checkpoint "$country_ckpt" --flush-every 1 --max-shards 2 \
   --json "$build_dir/country01_partial.json" > /dev/null
-"$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
+INSOMNIA_OBS=off "$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
   --checkpoint "$country_ckpt" \
   --json "$build_dir/country01_resumed.json" > /dev/null
-"$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
+INSOMNIA_OBS=off "$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
   --json "$build_dir/country01_fresh.json" > /dev/null
 cmp "$build_dir/country01_resumed.json" "$build_dir/country01_fresh.json"
 python3 -m json.tool "$build_dir/country01_resumed.json" > /dev/null
 rm -rf "$country_ckpt"
+
+# Observability must never change results: an obs-enabled run's JSON minus
+# its "telemetry" block must equal the INSOMNIA_OBS=off run's payload, and
+# the exported Chrome trace must parse.
+INSOMNIA_HEARTBEAT=off "$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
+  --json "$build_dir/country01_obs.json" \
+  --trace "$build_dir/country01_smoke.trace" > /dev/null
+python3 - "$build_dir/country01_obs.json" "$build_dir/country01_fresh.json" <<'EOF'
+import json, sys
+with_obs = json.load(open(sys.argv[1]))
+without = json.load(open(sys.argv[2]))
+assert "telemetry" in with_obs, "obs-enabled run must report a telemetry block"
+with_obs.pop("telemetry")
+assert with_obs == without, "telemetry changed the report payload"
+print("obs-on report matches obs-off modulo the telemetry block")
+EOF
+python3 -m json.tool "$build_dir/country01_smoke.trace" > /dev/null
 
 # Scheme-registry + Engine smoke: a beyond-paper registered scheme end to
 # end through the unified CLI, with the structured RunReport JSON validated

@@ -4,6 +4,8 @@
 #include "core/metrics.h"
 #include "core/scheme_registry.h"
 #include "exec/sweep_runner.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/random.h"
 #include "topology/access_topology.h"
 #include "trace/synthetic_crawdad.h"
@@ -18,11 +20,35 @@ constexpr std::uint64_t kTraceSalt = 13;
 constexpr std::uint64_t kBaselineSalt = 14;
 constexpr std::uint64_t kSchemeSalt = 15;
 
+// Feeds the fleet heartbeat and the telemetry block: neighbourhoods done,
+// live baseline/scheme watt aggregates, and per-shard wall time. All values
+// except shard wall time are deterministic functions of the simulation.
+void record_neighbourhood(const NeighbourhoodOutcome& outcome, double shard_ms) {
+#ifndef INSOMNIA_OBS_DISABLED
+  static obs::Counter& done = obs::counter("city.neighbourhoods_done");
+  static obs::Gauge& baseline_watts = obs::gauge("fleet.baseline_watts");
+  static obs::Gauge& scheme_watts = obs::gauge("fleet.scheme_watts");
+  static obs::Histogram& shard_hist = obs::histogram("fleet.shard_ms", 0.01, 1e7, 60);
+  done.add(1);
+  if (outcome.duration > 0.0) {
+    baseline_watts.add((outcome.baseline_user_energy + outcome.baseline_isp_energy) /
+                       outcome.duration);
+    scheme_watts.add((outcome.scheme_user_energy + outcome.scheme_isp_energy) /
+                     outcome.duration);
+  }
+  shard_hist.record(shard_ms);
+#else
+  (void)outcome;
+  (void)shard_ms;
+#endif
+}
+
 }  // namespace
 
 NeighbourhoodOutcome simulate_neighbourhood(const CityConfig& config,
                                             const std::vector<core::ScenarioPreset>& presets,
                                             std::size_t index) {
+  obs::ScopeTimer shard_timer("city.neighbourhood");
   const NeighbourhoodSample sample = sample_neighbourhood(config, presets, index);
   const core::ScenarioConfig& scenario = sample.scenario;
 
@@ -54,6 +80,7 @@ NeighbourhoodOutcome simulate_neighbourhood(const CityConfig& config,
   outcome.peak_online_gateways =
       scheme.online_gateways.mean(config.peak_start, config.peak_end);
   outcome.wake_events = scheme.gateway_wake_events;
+  record_neighbourhood(outcome, shard_timer.stop_ms());
   return outcome;
 }
 
@@ -82,6 +109,7 @@ CityResult run_city(const CityConfig& config,
                  });
 
   // Fold in index order — the exact serial accumulation sequence.
+  OBS_SCOPE("city.fold");
   for (const NeighbourhoodOutcome& outcome : outcomes) result.metrics.add(outcome);
   return result;
 }

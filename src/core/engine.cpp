@@ -5,6 +5,8 @@
 #include "core/metrics.h"
 #include "core/scenario_presets.h"
 #include "exec/sweep_runner.h"
+#include "obs/profiler.h"
+#include "obs/telemetry.h"
 #include "sim/random.h"
 #include "stats/timeseries.h"
 #include "topology/access_topology.h"
@@ -90,6 +92,7 @@ RunReport Engine::run(const RunSpec& spec) const {
   exec::SweepRunner runner(spec.threads);
   const std::vector<DayOutput> outputs =
       runner.run(static_cast<std::size_t>(spec.runs), [&](std::size_t run) {
+        OBS_SCOPE("engine.day");
         trace::FlowTrace generated;
         if (spec.trace_file.empty()) {
           sim::Random trace_rng(sim::Random::substream_seed(spec.seed, run, 1));
@@ -177,7 +180,7 @@ RunReport Engine::run(const RunSpec& spec) const {
   return report;
 }
 
-std::string RunReport::to_json() const {
+std::string RunReport::to_json(bool include_telemetry) const {
   util::JsonWriter json;
   json.begin_object();
   json.field("report", "engine-run");
@@ -220,6 +223,7 @@ std::string RunReport::to_json() const {
     json.end_object();
   }
   json.end_array();
+  if (include_telemetry) obs::write_telemetry(json);
   json.end_object();
   return json.str();
 }

@@ -86,8 +86,11 @@ struct RunReport {
   std::vector<double> savings_series;          ///< energy-weighted across runs
   std::vector<double> online_gateways_series;  ///< mean count
 
-  /// Stable-key-order, locale-independent JSON document.
-  std::string to_json() const;
+  /// Stable-key-order, locale-independent JSON document. With
+  /// `include_telemetry` a "telemetry" block (counters, phase wall times,
+  /// RSS — see docs/TELEMETRY.md) is appended; it contains run-dependent
+  /// wall-clock values, so byte-compare consumers keep the default.
+  std::string to_json(bool include_telemetry = false) const;
 };
 
 /// The facade. Stateless apart from the registry it resolves schemes in.

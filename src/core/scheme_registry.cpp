@@ -6,10 +6,28 @@
 #include "core/home_policy.h"
 #include "core/multilevel_policy.h"
 #include "core/optimal_policy.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/error.h"
 #include "util/strings.h"
 
 namespace insomnia::core {
+
+namespace {
+
+// Records one simulated day's event count. Deterministic values (event
+// counts, not wall time), so the histogram folds identically across thread
+// counts — test_obs_determinism pins that.
+void record_day(const RunMetrics& metrics) {
+#ifndef INSOMNIA_OBS_DISABLED
+  static obs::Histogram& day_events = obs::histogram("day.events");
+  day_events.record(static_cast<double>(metrics.executed_events));
+#else
+  (void)metrics;
+#endif
+}
+
+}  // namespace
 
 void SchemeRegistry::add(SchemeSpec spec) {
   util::require(!spec.name.empty(), "scheme name must not be empty");
@@ -107,11 +125,14 @@ const SchemeSpec& find_scheme(const std::string& name) { return scheme_registry(
 RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
                       const trace::FlowTrace& flows, const SchemeSpec& spec,
                       std::uint64_t seed) {
+  OBS_SCOPE("day.run");
   ScenarioConfig configured = scenario;
   configured.dslam.mode = spec.switch_mode;
   sim::Random rng(seed);
   const std::unique_ptr<Policy> policy = spec.make_policy(configured);
-  return AccessRuntime(configured, topology, flows, *policy, rng).run();
+  RunMetrics metrics = AccessRuntime(configured, topology, flows, *policy, rng).run();
+  record_day(metrics);
+  return metrics;
 }
 
 RunMetrics run_scheme(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
@@ -125,12 +146,15 @@ RunMetrics run_scheme_with_fabric(const ScenarioConfig& scenario,
                                   const trace::FlowTrace& flows, const SchemeSpec& spec,
                                   dslam::SwitchMode mode, int switch_size,
                                   std::uint64_t seed) {
+  OBS_SCOPE("day.run");
   ScenarioConfig configured = scenario;
   configured.dslam.mode = mode;
   configured.dslam.switch_size = switch_size;
   sim::Random rng(seed);
   const std::unique_ptr<Policy> policy = spec.make_policy(configured);
-  return AccessRuntime(configured, topology, flows, *policy, rng).run();
+  RunMetrics metrics = AccessRuntime(configured, topology, flows, *policy, rng).run();
+  record_day(metrics);
+  return metrics;
 }
 
 }  // namespace insomnia::core

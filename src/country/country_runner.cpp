@@ -15,6 +15,9 @@
 #include "core/scheme_registry.h"
 #include "country/checkpoint.h"
 #include "exec/sweep_runner.h"
+#include "obs/heartbeat.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/random.h"
 #include "util/error.h"
 
@@ -149,9 +152,14 @@ CitySample sample_city(const CountryConfig& config, std::uint32_t region,
 CityDigest simulate_city(const CountryConfig& config,
                          const std::vector<core::ScenarioPreset>& population,
                          std::uint32_t region, std::uint32_t city_index) {
+  OBS_SCOPE("country.city");
   const CitySample sample = sample_city(config, region, city_index);
   const city::CityResult result =
       city::run_city(sample.city, resolve_presets(sample.city.mix, population));
+#ifndef INSOMNIA_OBS_DISABLED
+  static obs::Counter& done = obs::counter("country.cities_done");
+  done.add(1);
+#endif
   return digest_from_city(result.metrics, region, city_index, sample.template_index);
 }
 
@@ -231,6 +239,12 @@ CountryResult run_country(const CountryConfig& config, const CountryRunOptions& 
     // Everything the children produced (plus what was already there).
     digests = load_checkpoint_dir(options.checkpoint_dir, fingerprint);
   } else if (!pending.empty()) {
+    obs::Heartbeat::Options beat;
+    beat.label = "country";
+    beat.interval_sec = options.heartbeat_sec;
+    beat.total_shards = pending.size();
+    beat.done_counter = "country.cities_done";
+    const obs::Heartbeat heartbeat(beat);
     CheckpointWriter writer(options.checkpoint_dir, fingerprint);
     std::vector<CityDigest> fresh =
         run_shard_list(config, population, pending, options.flush_every, writer);
@@ -242,6 +256,7 @@ CountryResult run_country(const CountryConfig& config, const CountryRunOptions& 
   result.completed_shards = digests.size();
   result.complete = digests.size() == total;
   if (result.complete) {
+    OBS_SCOPE("country.fold");
     std::sort(digests.begin(), digests.end(), digest_order);
     std::vector<std::string> names;
     names.reserve(config.regions.size());

@@ -58,6 +58,10 @@ struct CountryRunOptions {
   /// once this many NEW shards completed this invocation. 0 = run to the
   /// end.
   std::size_t max_city_shards = 0;
+  /// Seconds between fleet heartbeat lines on stderr; <= 0 disables. Only
+  /// the in-process path (procs == 1) beats: metrics are per-process, so a
+  /// forked parent has nothing live to report.
+  double heartbeat_sec = 0.0;
 };
 
 /// Outcome of one run_country invocation.

@@ -17,8 +17,28 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace insomnia::exec {
+
+namespace detail {
+
+/// Wraps one shard evaluation in its observability envelope: an "exec.shard"
+/// phase scope (one trace slice per shard on whichever worker ran it) and a
+/// tick of the "exec.shards" counter. Inlined away entirely when the obs
+/// layer is compiled out.
+template <typename Fn>
+auto observed_shard(Fn& shard, std::size_t i) -> decltype(shard(i)) {
+#ifndef INSOMNIA_OBS_DISABLED
+  static obs::Counter& shards = obs::counter("exec.shards");
+  OBS_SCOPE("exec.shard");
+  shards.add(1);
+#endif
+  return shard(i);
+}
+
+}  // namespace detail
 
 /// Runs families of independent shards over a reusable thread pool.
 class SweepRunner {
@@ -42,7 +62,7 @@ class SweepRunner {
     if (threads_ <= 1 || count <= 1) {
       std::vector<Result> results;
       results.reserve(count);
-      for (std::size_t i = 0; i < count; ++i) results.push_back(shard(i));
+      for (std::size_t i = 0; i < count; ++i) results.push_back(detail::observed_shard(shard, i));
       return results;
     }
 
@@ -55,7 +75,7 @@ class SweepRunner {
     for (std::size_t i = 0; i < count; ++i) {
       pool_->submit([&, i] {
         try {
-          slots[i].emplace(shard(i));
+          slots[i].emplace(detail::observed_shard(shard, i));
         } catch (...) {
           errors[i] = std::current_exception();
         }

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/profiler.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -12,7 +13,7 @@ ThreadPool::ThreadPool(int thread_count) {
   util::require(thread_count >= 1, "thread pool needs at least one thread");
   workers_.reserve(static_cast<std::size_t>(thread_count));
   for (int i = 0; i < thread_count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -34,7 +35,8 @@ void ThreadPool::submit(std::function<void()> task) {
   wake_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
+  obs::set_thread_name("worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {

@@ -36,7 +36,9 @@ class ThreadPool {
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void worker_loop();
+  /// `index` is the worker's spawn position, used only to name its trace
+  /// track ("worker-N") in the observability layer.
+  void worker_loop(int index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace insomnia::flow {
@@ -25,6 +26,7 @@ IncrementalFluidNetwork::IncrementalFluidNetwork(sim::Simulator& simulator,
 IncrementalFluidNetwork::~IncrementalFluidNetwork() {
   if (master_event_ != sim::kInvalidEventId) simulator_->cancel(master_event_);
   if (simulator_->flush_hook() == this) simulator_->set_flush_hook(nullptr);
+  obs::counter("flow.waterfills").add(waterfills_);
 }
 
 void IncrementalFluidNetwork::set_completion_handler(
@@ -326,6 +328,7 @@ void IncrementalFluidNetwork::advance(int gateway_id) {
 }
 
 void IncrementalFluidNetwork::waterfill(int gateway_id) {
+  ++waterfills_;
   GatewayState& gw = gateway(gateway_id);
   const double now = simulator_->now();
 

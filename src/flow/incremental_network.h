@@ -165,6 +165,9 @@ class IncrementalFluidNetwork final : public FluidNetwork, private sim::FlushHoo
   sim::EventId master_event_ = sim::kInvalidEventId;
   double master_time_ = 0.0;
   std::vector<CompletedFlow> completed_scratch_;  ///< warm buffer for advance()
+  /// Water-fills performed, accumulated locally (waterfill is hot) and
+  /// folded into the "flow.waterfills" counter once, at destruction.
+  std::uint64_t waterfills_ = 0;
 };
 
 }  // namespace insomnia::flow

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace insomnia::flow {
@@ -17,6 +18,10 @@ ReferenceFluidNetwork::ReferenceFluidNetwork(sim::Simulator& simulator,
     util::require(rate > 0.0, "backhaul rates must be positive");
     gateways_.emplace_back(rate, simulator.now());
   }
+}
+
+ReferenceFluidNetwork::~ReferenceFluidNetwork() {
+  obs::counter("flow.waterfills").add(waterfills_);
 }
 
 void ReferenceFluidNetwork::set_completion_handler(
@@ -293,6 +298,7 @@ void ReferenceFluidNetwork::advance(int gateway_id) {
 }
 
 void ReferenceFluidNetwork::reallocate(int gateway_id) {
+  ++waterfills_;
   GatewayState& gw = gateway(gateway_id);
   const double now = simulator_->now();
 

@@ -21,6 +21,7 @@ class ReferenceFluidNetwork final : public FluidNetwork {
  public:
   /// `backhaul_rates[g]` is gateway g's broadband speed in bits/s.
   ReferenceFluidNetwork(sim::Simulator& simulator, std::vector<double> backhaul_rates);
+  ~ReferenceFluidNetwork() override;  ///< folds the local waterfill tally into obs
 
   const char* engine_name() const override { return "reference"; }
 
@@ -125,6 +126,9 @@ class ReferenceFluidNetwork final : public FluidNetwork {
   std::unordered_map<FlowId, std::size_t> id_overflow_;  // sparse outlier ids
   std::function<void(const CompletedFlow&)> on_complete_;
   int live_flows_ = 0;
+  /// Reallocations performed, accumulated locally (reallocate is hot) and
+  /// folded into the "flow.waterfills" counter once, at destruction.
+  std::uint64_t waterfills_ = 0;
 };
 
 }  // namespace insomnia::flow

@@ -1,0 +1,137 @@
+#include "obs/heartbeat.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "util/strings.h"
+
+namespace insomnia::obs {
+
+namespace {
+
+void format_rate(double per_sec, char* out, std::size_t size) {
+  if (per_sec >= 1e6) {
+    std::snprintf(out, size, "%.1fM", per_sec / 1e6);
+  } else if (per_sec >= 1e3) {
+    std::snprintf(out, size, "%.1fk", per_sec / 1e3);
+  } else {
+    std::snprintf(out, size, "%.0f", per_sec);
+  }
+}
+
+void format_watts(double watts, char* out, std::size_t size) {
+  if (watts >= 1e4) {
+    std::snprintf(out, size, "%.1f kW", watts / 1e3);
+  } else {
+    std::snprintf(out, size, "%.0f W", watts);
+  }
+}
+
+void format_eta(double seconds, char* out, std::size_t size) {
+  if (!(seconds >= 0.0)) {
+    std::snprintf(out, size, "--");
+  } else if (seconds >= 3600.0) {
+    std::snprintf(out, size, "%.1fh", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(out, size, "%dm%02ds", static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  } else {
+    std::snprintf(out, size, "%.0fs", seconds);
+  }
+}
+
+}  // namespace
+
+Heartbeat::Heartbeat(Options options) : options_(std::move(options)) {
+  if (!enabled() || options_.interval_sec <= 0.0 || options_.total_shards == 0) return;
+  done_ = &counter(options_.done_counter);
+  events_ = &counter(options_.events_counter);
+  baseline_watts_ = &gauge(options_.baseline_gauge);
+  scheme_watts_ = &gauge(options_.scheme_gauge);
+  start_ns_ = last_ns_ = now_ns();
+  done_at_start_ = done_->value();
+  events_at_start_ = last_events_ = events_->value();
+  thread_ = std::thread([this] { loop(); });
+}
+
+Heartbeat::~Heartbeat() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  beat(/*final_line=*/true);
+}
+
+double Heartbeat::interval_from_env(double fallback_sec) {
+  const char* value = std::getenv("INSOMNIA_HEARTBEAT");
+  if (value == nullptr) return fallback_sec;
+  if (std::strcmp(value, "off") == 0) return 0.0;
+  const auto parsed = util::parse_double(value);
+  if (!parsed.has_value() || *parsed < 0.0) return fallback_sec;
+  return *parsed;
+}
+
+void Heartbeat::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_cv_.wait_for(lock, std::chrono::duration<double>(options_.interval_sec),
+                            [&] { return stopping_; })) {
+    lock.unlock();
+    beat(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+void Heartbeat::beat(bool final_line) {
+  const std::uint64_t now = now_ns();
+  std::uint64_t done = done_->value() - done_at_start_;
+  if (done > options_.total_shards) done = options_.total_shards;  // shared counter slack
+  const std::uint64_t events = events_->value();
+
+  const double elapsed_sec = static_cast<double>(now - start_ns_) / 1e9;
+  const double tick_sec = static_cast<double>(now - last_ns_) / 1e9;
+  const double rate = final_line
+                          ? (elapsed_sec > 0.0
+                                 ? static_cast<double>(events - events_at_start_) / elapsed_sec
+                                 : 0.0)
+                          : (tick_sec > 0.0
+                                 ? static_cast<double>(events - last_events_) / tick_sec
+                                 : 0.0);
+  last_ns_ = now;
+  last_events_ = events;
+
+  char rate_str[32];
+  char base_str[32];
+  char scheme_str[32];
+  char eta_str[32];
+  format_rate(rate, rate_str, sizeof(rate_str));
+  format_watts(baseline_watts_->value(), base_str, sizeof(base_str));
+  format_watts(scheme_watts_->value(), scheme_str, sizeof(scheme_str));
+
+  if (final_line) {
+    std::fprintf(stderr, "[%s] done: %llu/%llu shards in %.1fs | avg %s ev/s\n",
+                 options_.label.c_str(), static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(options_.total_shards), elapsed_sec,
+                 rate_str);
+  } else {
+    const double eta =
+        done > 0 ? elapsed_sec / static_cast<double>(done) *
+                       static_cast<double>(options_.total_shards - done)
+                 : -1.0;
+    format_eta(eta, eta_str, sizeof(eta_str));
+    std::fprintf(stderr, "[%s] %llu/%llu shards | %s ev/s | base %s, scheme %s | ETA %s\n",
+                 options_.label.c_str(), static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(options_.total_shards), rate_str,
+                 base_str, scheme_str, eta_str);
+  }
+  emit_counter_event("fleet.shards_done", static_cast<double>(done));
+}
+
+}  // namespace insomnia::obs

@@ -1,0 +1,74 @@
+// Fleet heartbeat: a background thread that reports live progress of a
+// sharded run to stderr — shards done, simulator events/sec, live watt
+// aggregates, ETA — and mirrors the progress onto the exported trace's
+// fleet-progress counter track. It only ever READS atomic metrics
+// (counters/gauges), so it cannot perturb the simulation or its
+// determinism; it prints to stderr so driver stdout (tables, goldens)
+// stays clean.
+//
+//   [country] 12/31 shards | 6.8M ev/s | base 12.4 kW, scheme 5.1 kW | ETA 42s
+//
+// Construction is a no-op when observability is off, the interval is <= 0,
+// or there are no shards to watch. With --procs fan-out the children own
+// the shards, so the parent emits no heartbeat (counters are per-process);
+// documented in README "Observability".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace insomnia::obs {
+
+class Counter;
+class Gauge;
+
+class Heartbeat {
+ public:
+  struct Options {
+    std::string label = "fleet";      ///< line prefix
+    double interval_sec = 2.0;        ///< <= 0 disables
+    std::uint64_t total_shards = 0;   ///< 0 disables
+    /// Registry names this heartbeat watches.
+    std::string done_counter = "fleet.shards_done";
+    std::string events_counter = "sim.events";
+    std::string baseline_gauge = "fleet.baseline_watts";
+    std::string scheme_gauge = "fleet.scheme_watts";
+  };
+
+  explicit Heartbeat(Options options);
+  ~Heartbeat();  ///< stops the thread; prints one final summary line
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// Seconds between beats from INSOMNIA_HEARTBEAT ("off"/"0" disables,
+  /// unset picks `fallback_sec`). Malformed values fall back too — a typo'd
+  /// heartbeat must never kill a country-scale run.
+  static double interval_from_env(double fallback_sec);
+
+ private:
+  void loop();
+  void beat(bool final_line);
+
+  Options options_;
+  const Counter* done_ = nullptr;
+  const Counter* events_ = nullptr;
+  const Gauge* baseline_watts_ = nullptr;
+  const Gauge* scheme_watts_ = nullptr;
+
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t done_at_start_ = 0;
+  std::uint64_t events_at_start_ = 0;
+  std::uint64_t last_ns_ = 0;
+  std::uint64_t last_events_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;  ///< joinable only when the heartbeat is live
+};
+
+}  // namespace insomnia::obs

@@ -1,0 +1,38 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace insomnia::obs {
+
+namespace detail {
+
+namespace {
+
+bool enabled_from_env() {
+  const char* value = std::getenv("INSOMNIA_OBS");
+  if (value == nullptr) return true;
+  return std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0 &&
+         std::strcmp(value, "false") != 0;
+}
+
+}  // namespace
+
+std::atomic<bool> g_enabled{enabled_from_env()};
+
+}  // namespace detail
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+std::uint64_t now_ns() {
+  // One fixed anchor so every timestamp in a process (phases, trace events,
+  // heartbeat deltas) shares the same origin.
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - anchor)
+                                        .count());
+}
+
+}  // namespace insomnia::obs

@@ -1,0 +1,46 @@
+// Observability master switch and monotonic clock. The whole obs layer
+// (obs/metrics.h counters, obs/profiler.h scopes, the Chrome-trace exporter)
+// keys off enabled():
+//
+//   * compile time: configure with -DINSOMNIA_OBS=OFF and every OBS_SCOPE /
+//     counter add compiles to nothing (enabled() is a constant false the
+//     optimizer folds away);
+//   * run time: INSOMNIA_OBS=off|0|false in the environment flips the same
+//     switch without a rebuild. Anything else (including unset) is on.
+//
+// Enabling observability never perturbs simulation results: the obs layer
+// only ever reads simulation state, all randomness stays in keyed
+// sim::Random substreams, and the regression suite pins Engine/city outputs
+// bit-identical with the switch on vs off (tests/test_obs_determinism.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace insomnia::obs {
+
+namespace detail {
+/// Process-wide switch; initialized from INSOMNIA_OBS at static init.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when the observability layer records anything. One relaxed load on
+/// the hot path; a constant false under -DINSOMNIA_OBS=OFF.
+inline bool enabled() {
+#ifdef INSOMNIA_OBS_DISABLED
+  return false;
+#else
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Test hook (and programmatic override): flips the runtime switch. A no-op
+/// under -DINSOMNIA_OBS=OFF, where enabled() stays false.
+void set_enabled(bool on);
+
+/// Monotonic nanoseconds since an arbitrary process-start anchor
+/// (std::chrono::steady_clock). Shared by the profiler, the trace exporter
+/// (which converts to microseconds), and the heartbeat's rate estimates.
+std::uint64_t now_ns();
+
+}  // namespace insomnia::obs

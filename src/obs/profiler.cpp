@@ -1,0 +1,150 @@
+#include "obs/profiler.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace insomnia::obs {
+
+namespace {
+
+/// Soft cap on trace events per thread: a runaway-hot scope cannot eat the
+/// heap; drops are counted so the exporter can say so.
+constexpr std::size_t kMaxTraceEventsPerThread = 1u << 20;
+
+struct PhaseAcc {
+  const char* name = nullptr;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+struct ThreadState {
+  int tid = 0;
+  std::string name = "main";
+  std::vector<PhaseAcc> phases;      ///< small; linear scan keyed by name
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped_events = 0;
+};
+
+struct Global {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadState>> threads;  ///< never shrinks
+  std::vector<CounterEvent> counter_events;
+  std::atomic<bool> tracing{false};
+};
+
+Global& global() {
+  static Global instance;
+  return instance;
+}
+
+ThreadState& thread_state() {
+  thread_local ThreadState* state = [] {
+    auto owned = std::make_unique<ThreadState>();
+    ThreadState* raw = owned.get();
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    raw->tid = static_cast<int>(g.threads.size());
+    g.threads.push_back(std::move(owned));
+    return raw;
+  }();
+  return *state;
+}
+
+// String-literal keys are usually unique pointers; fall back to strcmp so
+// the same phase name used from two translation units still folds together.
+bool same_name(const char* a, const char* b) {
+  return a == b || std::strcmp(a, b) == 0;
+}
+
+}  // namespace
+
+void set_thread_name(const std::string& name) { thread_state().name = name; }
+
+void enable_tracing() { global().tracing.store(true, std::memory_order_relaxed); }
+
+void disable_tracing() { global().tracing.store(false, std::memory_order_relaxed); }
+
+bool tracing() { return global().tracing.load(std::memory_order_relaxed); }
+
+void emit_counter_event(const char* name, double value) {
+  if (!enabled() || !tracing()) return;
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.counter_events.push_back({name, now_ns(), value});
+}
+
+std::uint64_t ScopeTimer::stop() {
+  if (!measuring_) return dur_ns_;
+  measuring_ = false;
+  dur_ns_ = now_ns() - start_ns_;
+  if (!record_) return dur_ns_;
+  ThreadState& state = thread_state();
+  PhaseAcc* acc = nullptr;
+  for (PhaseAcc& candidate : state.phases) {
+    if (same_name(candidate.name, name_)) {
+      acc = &candidate;
+      break;
+    }
+  }
+  if (acc == nullptr) {
+    state.phases.push_back({name_, 0, 0});
+    acc = &state.phases.back();
+  }
+  acc->count += 1;
+  acc->total_ns += dur_ns_;
+  if (tracing()) {
+    if (state.events.size() < kMaxTraceEventsPerThread) {
+      state.events.push_back({name_, state.tid, start_ns_, dur_ns_});
+    } else {
+      ++state.dropped_events;
+    }
+  }
+  return dur_ns_;
+}
+
+std::vector<PhaseTotal> phase_totals() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  // Fold into a name-keyed map: sorted output, cross-thread accumulation.
+  std::map<std::string, PhaseTotal> folded;
+  for (const auto& thread : g.threads) {
+    for (const PhaseAcc& acc : thread->phases) {
+      PhaseTotal& total = folded[acc.name];
+      total.name = acc.name;
+      total.count += acc.count;
+      total.total_ns += acc.total_ns;
+    }
+  }
+  std::vector<PhaseTotal> out;
+  out.reserve(folded.size());
+  for (auto& [name, total] : folded) out.push_back(std::move(total));
+  return out;
+}
+
+TraceSnapshot trace_snapshot() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  TraceSnapshot out;
+  out.threads.reserve(g.threads.size());
+  for (const auto& thread : g.threads) {
+    out.threads.push_back({thread->tid, thread->name});
+    out.events.insert(out.events.end(), thread->events.begin(), thread->events.end());
+  }
+  out.counters = g.counter_events;
+  return out;
+}
+
+void reset_profiler() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  for (const auto& thread : g.threads) {
+    thread->phases.clear();
+    thread->events.clear();
+    thread->dropped_events = 0;
+  }
+  g.counter_events.clear();
+}
+
+}  // namespace insomnia::obs

@@ -1,0 +1,128 @@
+// Phase profiler: OBS_SCOPE("name") RAII scopes that accumulate per-phase
+// wall time (count + total ns, folded across threads at collection points)
+// and — when tracing is armed via enable_tracing() / a driver's --trace
+// flag — append one complete ("X") event per scope to a per-thread trace
+// buffer for the Chrome trace-event exporter (obs/trace_export.h).
+//
+// Costs: a scope is two obs::now_ns() reads plus a short linear scan of the
+// thread's phase table when enabled; one branch and nothing else when
+// disabled; literally nothing under -DINSOMNIA_OBS=OFF (the macro expands
+// to a no-op statement). Scope names must be string literals (or otherwise
+// outlive the process) — the profiler stores the pointer, not a copy.
+//
+// Threading: each thread records into its own state without locks. Folding
+// reads (phase_totals, trace_snapshot) are collection-point operations —
+// call them when worker threads have been joined (SweepRunner pools are
+// function-scoped, so every driver's finish() qualifies). The heartbeat
+// never reads profiler state; it watches atomic counters only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace insomnia::obs {
+
+/// Names this thread's track in phase fold-outs and the exported trace
+/// ("main" by default; exec::ThreadPool names its workers "worker-N").
+void set_thread_name(const std::string& name);
+
+/// Arms trace-event recording (scopes start appending to the per-thread
+/// buffers). Implies nothing about enabled(): tracing only records while
+/// the master switch is on too.
+void enable_tracing();
+/// Disarms trace-event recording again (test isolation; drivers never need
+/// it — the process exits after exporting).
+void disable_tracing();
+bool tracing();
+
+/// Appends one Chrome counter ("C") sample — the fleet-progress track.
+/// Low-rate (heartbeat ticks); goes through a small global locked buffer.
+void emit_counter_event(const char* name, double value);
+
+/// Accumulated wall time of one phase, folded across threads.
+struct PhaseTotal {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// All phases, folded across every thread that ever recorded, name-sorted.
+/// Collection-point only (see file comment).
+std::vector<PhaseTotal> phase_totals();
+
+/// One complete scope, for the trace exporter.
+struct TraceEvent {
+  const char* name = nullptr;
+  int tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// One counter sample, for the trace exporter.
+struct CounterEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;
+  double value = 0.0;
+};
+
+/// Everything the Chrome exporter needs. Collection-point only.
+struct TraceSnapshot {
+  struct Thread {
+    int tid = 0;
+    std::string name;
+  };
+  std::vector<Thread> threads;        ///< registration order
+  std::vector<TraceEvent> events;     ///< thread-major, per-thread in order
+  std::vector<CounterEvent> counters; ///< emission order
+};
+
+TraceSnapshot trace_snapshot();
+
+/// Test hook: clears phase tables, trace buffers, and counter events (thread
+/// registrations survive). Call only while no worker threads are recording.
+void reset_profiler();
+
+/// RAII phase scope. `force` measures wall time even when obs is disabled
+/// (the perf harness sources its numbers here) — recording into the phase
+/// table/trace still requires enabled().
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(const char* name, bool force = false)
+      : name_(name), measuring_(force || enabled()), record_(enabled()) {
+    if (measuring_) start_ns_ = now_ns();
+  }
+
+  ~ScopeTimer() { stop(); }
+
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  /// Records the scope (once) and returns its duration in ns; later calls
+  /// return the same duration. 0 when nothing was measured.
+  std::uint64_t stop();
+
+  double stop_ms() { return static_cast<double>(stop()) / 1e6; }
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t dur_ns_ = 0;
+  bool measuring_ = false;
+  bool record_ = false;
+};
+
+#define INSOMNIA_OBS_CONCAT_(a, b) a##b
+#define INSOMNIA_OBS_CONCAT(a, b) INSOMNIA_OBS_CONCAT_(a, b)
+
+#ifdef INSOMNIA_OBS_DISABLED
+#define OBS_SCOPE(name) ((void)0)
+#else
+/// Times the enclosing block as phase `name` (a string literal).
+#define OBS_SCOPE(name) \
+  ::insomnia::obs::ScopeTimer INSOMNIA_OBS_CONCAT(obs_scope_, __LINE__)(name)
+#endif
+
+}  // namespace insomnia::obs

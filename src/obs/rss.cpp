@@ -1,0 +1,28 @@
+#include "obs/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace insomnia::obs {
+
+std::uint64_t rss_peak_bytes() {
+#ifdef __linux__
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  unsigned long long kib = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    // "VmHWM:    123456 kB" — the high-water mark of the resident set.
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      if (std::sscanf(line + 6, "%llu", &kib) != 1) kib = 0;
+      break;
+    }
+  }
+  std::fclose(status);
+  return static_cast<std::uint64_t>(kib) * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace insomnia::obs

@@ -1,0 +1,15 @@
+// Peak resident-set-size probe. Bounded memory is a stated contract of the
+// city/country streaming folds (PR 3/7); this makes it measurable instead
+// of asserted.
+#pragma once
+
+#include <cstdint>
+
+namespace insomnia::obs {
+
+/// Peak RSS of this process in bytes (VmHWM from /proc/self/status on
+/// Linux); 0 where the probe is unavailable. Not gated on enabled() — it
+/// reads, never records.
+std::uint64_t rss_peak_bytes();
+
+}  // namespace insomnia::obs

@@ -1,0 +1,50 @@
+#include "obs/telemetry.h"
+
+#include "obs/rss.h"
+#include "util/json_writer.h"
+
+namespace insomnia::obs {
+
+TelemetrySnapshot telemetry_snapshot() {
+  TelemetrySnapshot out;
+  out.metrics = Registry::global().snapshot();
+  out.phases = phase_totals();
+  out.rss_peak_bytes = rss_peak_bytes();
+  return out;
+}
+
+void write_telemetry(util::JsonWriter& json) {
+  const TelemetrySnapshot snapshot = telemetry_snapshot();
+  json.key("telemetry").begin_object();
+  json.field("rss_peak_bytes", snapshot.rss_peak_bytes);
+  json.key("counters").begin_object();
+  for (const auto& row : snapshot.metrics.counters) json.field(row.name, row.value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& row : snapshot.metrics.gauges) json.field(row.name, row.value);
+  json.end_object();
+  json.key("phases").begin_object();
+  for (const PhaseTotal& phase : snapshot.phases) {
+    json.key(phase.name).begin_object();
+    json.field("count", phase.count);
+    json.field("total_ms", static_cast<double>(phase.total_ns) / 1e6);
+    json.end_object();
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& row : snapshot.metrics.histograms) {
+    json.key(row.name).begin_object();
+    json.field("count", row.stats.count);
+    json.field("min", row.stats.min);
+    json.field("max", row.stats.max);
+    json.field("sum", row.stats.sum);
+    json.field("p50", row.stats.p50);
+    json.field("p95", row.stats.p95);
+    json.field("p99", row.stats.p99);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace insomnia::obs

@@ -1,0 +1,32 @@
+// The "telemetry" block of every driver's --json report: counters, gauges,
+// histogram quantiles, per-phase wall time, and peak RSS, serialized with
+// util/json_writer in stable (name-sorted) key order. Schema documented in
+// docs/TELEMETRY.md.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace insomnia::util {
+class JsonWriter;
+}
+
+namespace insomnia::obs {
+
+/// Everything write_telemetry serializes, as plain data.
+struct TelemetrySnapshot {
+  MetricsSnapshot metrics;
+  std::vector<PhaseTotal> phases;
+  std::uint64_t rss_peak_bytes = 0;
+};
+
+/// Collection-point fold of the registry + profiler + RSS probe.
+TelemetrySnapshot telemetry_snapshot();
+
+/// Emits `"telemetry": { ... }` as the next member of the currently open
+/// JSON object. Wall times and RSS are inherently run-dependent; consumers
+/// comparing reports for bit-identity must strip this block (scripts/check.sh
+/// does exactly that for the obs-on-vs-off gate).
+void write_telemetry(util::JsonWriter& json);
+
+}  // namespace insomnia::obs

@@ -1,0 +1,72 @@
+#include "obs/trace_export.h"
+
+#include <fstream>
+
+#include "util/error.h"
+#include "util/json_writer.h"
+
+namespace insomnia::obs {
+
+namespace {
+
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+void event_common(util::JsonWriter& json, const char* name, const char* ph, int tid) {
+  json.field("name", name);
+  json.field("ph", ph);
+  json.field("pid", 0);
+  json.field("tid", tid);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSnapshot& snapshot) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.key("traceEvents").begin_array();
+  // Track metadata first: the process, then one name per thread.
+  json.begin_object();
+  event_common(json, "process_name", "M", 0);
+  json.key("args").begin_object();
+  json.field("name", "insomnia");
+  json.end_object();
+  json.end_object();
+  for (const TraceSnapshot::Thread& thread : snapshot.threads) {
+    json.begin_object();
+    event_common(json, "thread_name", "M", thread.tid);
+    json.key("args").begin_object();
+    json.field("name", thread.name);
+    json.end_object();
+    json.end_object();
+  }
+  for (const TraceEvent& event : snapshot.events) {
+    json.begin_object();
+    event_common(json, event.name, "X", event.tid);
+    json.field("cat", "phase");
+    json.field("ts", to_us(event.start_ns));
+    json.field("dur", to_us(event.dur_ns));
+    json.end_object();
+  }
+  for (const CounterEvent& event : snapshot.counters) {
+    json.begin_object();
+    event_common(json, event.name, "C", 0);
+    json.field("ts", to_us(event.ts_ns));
+    json.key("args").begin_object();
+    json.field("value", event.value);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  util::require_state(static_cast<bool>(out), "cannot write chrome trace " + path);
+  out << chrome_trace_json(trace_snapshot()) << "\n";
+  util::require_state(static_cast<bool>(out), "failed writing chrome trace " + path);
+}
+
+}  // namespace insomnia::obs

@@ -1,0 +1,25 @@
+// Chrome trace-event JSON exporter: turns the profiler's TraceSnapshot into
+// a document loadable by Perfetto (ui.perfetto.dev) or chrome://tracing.
+// One track per registered thread (ThreadPool workers are named
+// "worker-N"), complete "X" events for every OBS_SCOPE, and counter "C"
+// samples (the fleet-progress track emitted by the heartbeat). Timestamps
+// are microseconds from the process anchor, written with util/json_writer
+// (locale-independent, stable key order — golden-testable).
+#pragma once
+
+#include <string>
+
+#include "obs/profiler.h"
+
+namespace insomnia::obs {
+
+/// Serializes an explicit snapshot (pure function — the golden test feeds a
+/// hand-built snapshot and pins the exact document).
+std::string chrome_trace_json(const TraceSnapshot& snapshot);
+
+/// trace_snapshot() -> chrome_trace_json -> `path`. Collection-point only
+/// (worker threads joined). Throws util::InvalidState when the file cannot
+/// be written.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace insomnia::obs

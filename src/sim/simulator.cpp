@@ -3,9 +3,28 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/error.h"
 
 namespace insomnia::sim {
+
+namespace {
+
+// Collection-point discipline: the event loop itself carries zero
+// instrumentation — we add the executed-events delta to the registry once
+// per run_until/run_to_completion call. The counter reference is resolved
+// once per process.
+void record_executed_delta(std::uint64_t delta) {
+#ifndef INSOMNIA_OBS_DISABLED
+  static obs::Counter& events = obs::counter("sim.events");
+  events.add(delta);
+#else
+  (void)delta;
+#endif
+}
+
+}  // namespace
 
 EventId Simulator::at(double t, std::function<void()> action) {
   util::require(t >= now_, "Simulator::at cannot schedule in the past");
@@ -31,6 +50,8 @@ bool Simulator::flush_if_pending() {
 
 void Simulator::run_until(double end_time, EventStream* stream) {
   util::require(end_time >= now_, "Simulator::run_until cannot rewind the clock");
+  OBS_SCOPE("sim.run_until");
+  const std::uint64_t executed_before = executed_;
   while (true) {
     const bool queued = !queue_.empty();
     const double tq = queued ? queue_.next_time() : 0.0;
@@ -63,9 +84,12 @@ void Simulator::run_until(double end_time, EventStream* stream) {
     ++executed_;
   }
   now_ = end_time;
+  record_executed_delta(executed_ - executed_before);
 }
 
 void Simulator::run_to_completion() {
+  OBS_SCOPE("sim.run_to_completion");
+  const std::uint64_t executed_before = executed_;
   while (true) {
     if (queue_.empty()) {
       if (flush_if_pending()) continue;
@@ -77,6 +101,7 @@ void Simulator::run_to_completion() {
     queue_.run_next();
     ++executed_;
   }
+  record_executed_delta(executed_ - executed_before);
 }
 
 }  // namespace insomnia::sim

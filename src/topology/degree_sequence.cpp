@@ -35,7 +35,22 @@ std::vector<int> sample_degree_sequence(const DegreeSequenceConfig& config, sim:
         }
       }
     }
-    if (sum % 2 == 0 && is_graphical(degrees)) return degrees;
+    if (sum % 2 == 0 && is_graphical(degrees)) {
+      // A connected simple graph needs at least n-1 edges. Sparse presets
+      // under heavy jitter can draw a sequence that is graphical yet too
+      // thin to connect; thicken the sparsest nodes instead of handing
+      // generate_connected_graph an impossible sequence. The bump count
+      // (connect_min - sum) is even, so parity is preserved. Draws that
+      // already satisfy the floor — every draw before this path existed —
+      // return exactly as they used to.
+      const int connect_min = 2 * (config.node_count - 1);
+      if (sum >= connect_min) return degrees;
+      while (sum < connect_min) {
+        ++*std::min_element(degrees.begin(), degrees.end());
+        ++sum;
+      }
+      if (is_graphical(degrees)) return degrees;
+    }
   }
 }
 

@@ -1,0 +1,92 @@
+// Chrome trace-event exporter goldens: the document layout is pinned byte
+// for byte against a hand-built snapshot so chrome://tracing / Perfetto
+// compatibility cannot drift silently, plus a live round-trip through the
+// armed profiler and write_chrome_trace.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+#include "obs/profiler.h"
+#include "obs/trace_export.h"
+
+namespace insomnia::obs {
+namespace {
+
+TEST(ObsTrace, EmptySnapshotGolden) {
+  // Even an empty run gets the process metadata track.
+  const TraceSnapshot snap;
+  EXPECT_EQ(chrome_trace_json(snap),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+            "\"args\":{\"name\":\"insomnia\"}}"
+            "]}");
+}
+
+TEST(ObsTrace, HandBuiltSnapshotGolden) {
+  // Thread metadata first (registration order), then complete ("X") phase
+  // events with microsecond ts/dur, then counter ("C") samples.
+  TraceSnapshot snap;
+  snap.threads = {{0, "main"}, {1, "worker-0"}};
+  snap.events = {{"engine.day", 1, /*start_ns=*/1000, /*dur_ns=*/500},
+                 {"city.fold", 0, /*start_ns=*/2000, /*dur_ns=*/250}};
+  snap.counters = {{"fleet.shards_done", /*ts_ns=*/3000, /*value=*/2.0}};
+  EXPECT_EQ(chrome_trace_json(snap),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+            "\"args\":{\"name\":\"insomnia\"}},"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+            "\"args\":{\"name\":\"main\"}},"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+            "\"args\":{\"name\":\"worker-0\"}},"
+            "{\"name\":\"engine.day\",\"ph\":\"X\",\"pid\":0,\"tid\":1,"
+            "\"cat\":\"phase\",\"ts\":1,\"dur\":0.5},"
+            "{\"name\":\"city.fold\",\"ph\":\"X\",\"pid\":0,\"tid\":0,"
+            "\"cat\":\"phase\",\"ts\":2,\"dur\":0.25},"
+            "{\"name\":\"fleet.shards_done\",\"ph\":\"C\",\"pid\":0,\"tid\":0,"
+            "\"ts\":3,\"args\":{\"value\":2}}"
+            "]}");
+}
+
+#ifndef INSOMNIA_OBS_DISABLED
+
+TEST(ObsTrace, ArmedScopesExportAsCompleteEvents) {
+  set_enabled(true);
+  disable_tracing();
+  reset_profiler();
+  enable_tracing();
+  {
+    OBS_SCOPE("trace.test.phase");
+  }
+  emit_counter_event("trace.test.counter", 5.0);
+  const std::string json = chrome_trace_json(trace_snapshot());
+  EXPECT_NE(json.find("{\"name\":\"trace.test.phase\",\"ph\":\"X\",\"pid\":0,"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"name\":\"trace.test.counter\",\"ph\":\"C\",\"pid\":0,"),
+            std::string::npos)
+      << json;
+  disable_tracing();
+}
+
+TEST(ObsTrace, WriteChromeTraceMatchesSnapshotPlusNewline) {
+  set_enabled(true);
+  disable_tracing();
+  reset_profiler();
+  const std::string path = ::testing::TempDir() + "obs_trace_roundtrip.json";
+  write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), chrome_trace_json(trace_snapshot()) + "\n");
+  std::remove(path.c_str());
+}
+
+#endif  // INSOMNIA_OBS_DISABLED
+
+}  // namespace
+}  // namespace insomnia::obs

@@ -41,6 +41,26 @@ TEST(DegreeSequence, SamplesAreGraphicalWithEvenSum) {
   }
 }
 
+TEST(DegreeSequence, SparseSamplesStayConnectable) {
+  // Regression: low-mean configs (sparse-rural under wide jitter) used to
+  // occasionally return graphical sequences with fewer than n-1 edges,
+  // which generate_connected_graph rightly rejects. The sampler now
+  // enforces the connectivity floor itself.
+  DegreeSequenceConfig config;
+  config.node_count = 16;
+  config.mean_degree = 1.2;
+  config.sigma = 0.45;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    sim::Random rng(seed);
+    const auto degrees = sample_degree_sequence(config, rng);
+    const long long sum = std::accumulate(degrees.begin(), degrees.end(), 0LL);
+    ASSERT_GE(sum, 2LL * (config.node_count - 1)) << "seed " << seed;
+    EXPECT_TRUE(is_graphical(degrees));
+    const Graph g = generate_connected_graph(degrees, rng);
+    EXPECT_TRUE(g.is_connected()) << "seed " << seed;
+  }
+}
+
 TEST(DegreeSequence, MeanNearTarget) {
   DegreeSequenceConfig config;
   sim::Random rng(5);
