@@ -53,6 +53,13 @@ class DriverReport {
     set_encoded(key, util::json_number(static_cast<std::uint64_t>(value)));
   }
 
+  /// A pre-encoded JSON value (an object or array built with
+  /// util::JsonWriter) in the scalar-field slot — for structured blocks
+  /// like the fleet driver's degraded-coverage report.
+  void set_raw_field(const std::string& key, std::string encoded) {
+    set_encoded(key, std::move(encoded));
+  }
+
   void add_compare(const std::string& what, const std::string& paper,
                    const std::string& measured) {
     compares_.push_back({what, paper, measured});

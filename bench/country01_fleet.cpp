@@ -10,7 +10,10 @@
 // Knobs: --scale F (cities per region ×F), --nbhd-scale F (neighbourhood
 // ranges ×F), --seed S, --scheme NAME, --threads N, --procs N,
 // --checkpoint DIR, --flush-every N, --max-shards N (stop after N new city
-// shards — the resume test hook), --json PATH, --list-schemes.
+// shards — the resume test hook), --fault-spec SPEC (deterministic chaos,
+// see docs/RESILIENCE.md; INSOMNIA_FAULTS is the env form), --max-attempts N
+// (per-shard retry budget), --fail-fast (abort on first failure instead of
+// quarantining), --json PATH, --list-schemes.
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -23,6 +26,8 @@
 #include "country/world_extrapolation.h"
 #include "obs/heartbeat.h"
 #include "obs/rss.h"
+#include "resilience/fault_plan.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 
 namespace {
@@ -39,6 +44,12 @@ Args parse_args(int argc, char** argv) {
   double scale = 1.0;
   double nbhd_scale = 1.0;
   std::uint64_t seed = 42;
+  // Chaos plan from the environment unless --fault-spec overrides below;
+  // retries back off 20..250 ms (full jitter) so transient faults don't
+  // retry-storm, while clean runs never sleep at all.
+  args.options.faults = resilience::global_fault_plan();
+  args.options.backoff_base_ms = 20.0;
+  args.options.backoff_cap_ms = 250.0;
   for (int i = 1; i < argc; ++i) {
     if (bench::handle_common_flag(argc, argv, i)) continue;
     const std::string arg = argv[i];
@@ -73,11 +84,20 @@ Args parse_args(int argc, char** argv) {
       args.options.flush_every = positive_int("--flush-every");
     } else if (arg == "--max-shards") {
       args.options.max_city_shards = static_cast<std::size_t>(positive_int("--max-shards"));
+    } else if (arg == "--fault-spec") {
+      args.options.faults = resilience::parse_fault_plan(value("--fault-spec"));
+      // Forked workers and the trace layer read the global plan.
+      resilience::set_global_fault_plan(args.options.faults);
+    } else if (arg == "--max-attempts") {
+      args.options.max_attempts = positive_int("--max-attempts");
+    } else if (arg == "--fail-fast") {
+      args.options.fail_fast = true;
     } else {
       throw util::InvalidArgument(
           "unknown argument \"" + arg + "\"; usage: " + argv[0] +
           " [--scale F] [--nbhd-scale F] [--seed S] [--scheme NAME] [--threads N]"
           " [--procs N] [--checkpoint DIR] [--flush-every N] [--max-shards N]"
+          " [--fault-spec SPEC] [--max-attempts N] [--fail-fast]"
           " [--json PATH] [--list-schemes]");
     }
   }
@@ -115,14 +135,66 @@ int main(int argc, char** argv) {
     std::cout << ", checkpoint " << args.options.checkpoint_dir;
   }
   if (args.options.procs > 1) std::cout << ", " << args.options.procs << " procs";
-  std::cout << "\n\n";
+  std::cout << "\n";
+  if (args.options.faults.any()) {
+    std::cout << "fault plan: " << args.options.faults.summary() << " (max "
+              << args.options.max_attempts << " attempts/shard, "
+              << (args.options.fail_fast ? "fail-fast" : "degrade") << ")\n";
+  }
+  std::cout << "\n";
 
-  const country::CountryResult result = country::run_country(args.config, args.options);
+  country::CountryResult result;
+  try {
+    result = country::run_country(args.config, args.options);
+  } catch (const std::exception& error) {
+    // Fail-fast aborts, zero-coverage refusals, corrupt committed
+    // checkpoints: loud, single-line, non-zero — not an uncaught abort.
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
 
   const std::uint64_t rss = obs::rss_peak_bytes();
   if (rss > 0) {
     std::cout << "peak RSS: " << bench::num(static_cast<double>(rss) / (1024.0 * 1024.0), 1)
               << " MiB\n";
+  }
+
+  // Self-healing and degradation report. Only stdout for self-healed runs:
+  // a fault-free and a fully-recovered chaos run must emit byte-identical
+  // --json, so the report gains keys only when cities were actually lost.
+  if (!result.child_failures.empty()) {
+    std::cout << "self-healed " << result.child_failures.size()
+              << " worker failure(s):\n";
+    for (const country::ChildFailure& failure : result.child_failures) {
+      std::cout << "  " << failure.describe() << "\n";
+    }
+  }
+  if (result.degraded()) {
+    std::cout << "DEGRADED: " << result.quarantined.size() << " of "
+              << result.total_shards << " cities quarantined (coverage "
+              << bench::pct(result.coverage()) << "); CIs below widen from the "
+              << "smaller surviving sample\n";
+    for (const country::QuarantinedCity& q : result.quarantined) {
+      std::cout << "  region " << q.region << " city " << q.city << " after "
+                << q.attempts << " attempts: " << q.reason << "\n";
+    }
+    std::cout << "\n";
+
+    util::JsonWriter degraded;
+    degraded.begin_object();
+    degraded.field("coverage", result.coverage());
+    degraded.key("quarantined").begin_array();
+    for (const country::QuarantinedCity& q : result.quarantined) {
+      degraded.begin_object();
+      degraded.field("region", args.config.regions[q.region].name);
+      degraded.field("city", static_cast<std::int64_t>(q.city));
+      degraded.field("attempts", static_cast<std::int64_t>(q.attempts));
+      degraded.field("reason", q.reason);
+      degraded.end_object();
+    }
+    degraded.end_array();
+    degraded.end_object();
+    bench::report().set_raw_field("degraded", degraded.str());
   }
 
   bench::report().set_field("seed", static_cast<unsigned long long>(args.config.seed));

@@ -69,6 +69,16 @@ print("obs-on report matches obs-off modulo the telemetry block")
 EOF
 python3 -m json.tool "$build_dir/country01_smoke.trace" > /dev/null
 
+# Chaos smoke: a RECOVERABLE deterministic fault plan — injected shard
+# throws and latency, every one healed by the retry policy — must produce a
+# report BYTE-identical to the fault-free run above. Fault injection and
+# self-healing are invisible unless a shard exhausts its retry budget.
+# (docs/RESILIENCE.md documents the fault grammar and the retry policy.)
+INSOMNIA_OBS=off "$build_dir/country01_fleet" --scale 0.005 --nbhd-scale 0.05 --seed 7 \
+  --fault-spec "shard-throw=0.45,slow-shard=0.1:5ms" --max-attempts 6 \
+  --json "$build_dir/country01_chaos.json" > /dev/null
+cmp "$build_dir/country01_chaos.json" "$build_dir/country01_fresh.json"
+
 # Scheme-registry + Engine smoke: a beyond-paper registered scheme end to
 # end through the unified CLI, with the structured RunReport JSON validated
 # by an independent parser.

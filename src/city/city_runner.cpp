@@ -1,5 +1,7 @@
 #include "city/city_runner.h"
 
+#include <stdexcept>
+
 #include "city/neighbourhood_sampler.h"
 #include "core/metrics.h"
 #include "core/scheme_registry.h"
@@ -105,7 +107,16 @@ CityResult run_city(const CityConfig& config,
   const std::vector<NeighbourhoodOutcome> outcomes =
       runner.run(static_cast<std::size_t>(config.neighbourhoods),
                  [&](std::size_t index) {
-                   return simulate_neighbourhood(config, presets, index);
+                   try {
+                     return simulate_neighbourhood(config, presets, index);
+                   } catch (const util::InvalidArgument&) {
+                     throw;  // precondition contracts stay typed
+                   } catch (const std::exception& error) {
+                     throw std::runtime_error("neighbourhood " +
+                                              std::to_string(index) + " of city " +
+                                              std::to_string(config.seed) +
+                                              " failed: " + error.what());
+                   }
                  });
 
   // Fold in index order — the exact serial accumulation sequence.

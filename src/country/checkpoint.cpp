@@ -10,6 +10,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -248,8 +249,25 @@ std::vector<CityDigest> load_checkpoint_dir(const std::string& dir,
 
   // Deterministic load order (directory iteration order is not specified).
   std::vector<std::string> paths;
+  std::vector<std::string> torn;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
-    if (entry.path().extension() == ".ckpt") paths.push_back(entry.path().string());
+    if (entry.path().extension() == ".ckpt") {
+      paths.push_back(entry.path().string());
+    } else if (entry.path().extension() == ".tmp") {
+      torn.push_back(entry.path().string());
+    }
+  }
+  // Salvage: `*.tmp` files are torn writes from a writer killed before its
+  // atomic rename — never valid data (the committed `.ckpt` beside them
+  // holds the last complete flush). Discard them explicitly so the debris
+  // can't accumulate, and count the discards; corruption in a COMMITTED
+  // file is a different story and still refuses loudly below.
+  for (const std::string& path : torn) {
+    std::error_code ec;
+    fs::remove(path, ec);
+#ifndef INSOMNIA_OBS_DISABLED
+    if (!ec) obs::counter("country.ckpt_tmp_discarded").add(1);
+#endif
   }
   std::sort(paths.begin(), paths.end());
 

@@ -58,7 +58,10 @@ std::vector<CityDigest> read_checkpoint_file(const std::string& path,
 /// Loads every `*.ckpt` file under `dir` (non-recursive) and unions the
 /// digests by (region, city), keeping the first occurrence. A missing
 /// directory yields an empty vector (a fresh run); any unreadable or
-/// mismatched file throws.
+/// mismatched file throws. Stray `*.tmp` files — torn writes left by a
+/// writer killed before its atomic rename — are deleted (salvage: the
+/// committed file beside them holds the last complete flush, so the debris
+/// carries no data); corruption in a committed `.ckpt` still refuses.
 std::vector<CityDigest> load_checkpoint_dir(const std::string& dir,
                                             std::uint64_t fingerprint);
 

@@ -1,0 +1,32 @@
+#include "exec/aggregate_error.h"
+
+#include <utility>
+
+namespace insomnia::exec {
+
+namespace {
+
+/// what() lists every index but caps the per-shard messages: a 600-shard
+/// systemic failure must not build a megabyte error string.
+constexpr std::size_t kMaxDetailedMessages = 8;
+
+}  // namespace
+
+AggregateError::AggregateError(std::vector<Failure> failures)
+    : std::runtime_error(format(failures)), failures_(std::move(failures)) {}
+
+std::string AggregateError::format(const std::vector<Failure>& failures) {
+  std::string text = std::to_string(failures.size()) + " shards failed (indices";
+  for (const Failure& failure : failures) text += " " + std::to_string(failure.index);
+  text += ")";
+  const std::size_t detailed = std::min(failures.size(), kMaxDetailedMessages);
+  for (std::size_t i = 0; i < detailed; ++i) {
+    text += "; shard " + std::to_string(failures[i].index) + ": " + failures[i].message;
+  }
+  if (failures.size() > detailed) {
+    text += "; ... " + std::to_string(failures.size() - detailed) + " more";
+  }
+  return text;
+}
+
+}  // namespace insomnia::exec

@@ -1,0 +1,40 @@
+// Aggregated shard failure: when several shards of one sweep fail, every
+// failing index and its first error message survive into a single thrown
+// object — the old lowest-index-only rethrow silently discarded all but one
+// failure, which made fleet-scale triage (which cities? how many?) blind.
+// Derives from std::runtime_error so existing catch sites keep working; a
+// sweep with exactly ONE failing shard still rethrows the original
+// exception object (type preserved), so single-failure contracts are
+// byte-for-byte what they were.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace insomnia::exec {
+
+class AggregateError : public std::runtime_error {
+ public:
+  /// One failing shard: its sweep index and the what() of the first
+  /// attempt that failed (later retries of the same shard may fail
+  /// differently; the first message names the original cause).
+  struct Failure {
+    std::size_t index = 0;
+    std::string message;
+  };
+
+  /// `failures` must be non-empty and ordered by index (SweepRunner
+  /// collects them in index order).
+  explicit AggregateError(std::vector<Failure> failures);
+
+  const std::vector<Failure>& failures() const { return failures_; }
+
+ private:
+  static std::string format(const std::vector<Failure>& failures);
+
+  std::vector<Failure> failures_;
+};
+
+}  // namespace insomnia::exec

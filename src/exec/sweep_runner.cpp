@@ -1,6 +1,53 @@
 #include "exec/sweep_runner.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "sim/random.h"
+
 namespace insomnia::exec {
+
+namespace detail {
+
+namespace {
+/// Backoff-draw salt; lives beside the resilience layer's 41-47 range.
+constexpr std::uint64_t kBackoffJitterSalt = 48;
+}  // namespace
+
+void note_shard_retry() {
+#ifndef INSOMNIA_OBS_DISABLED
+  static obs::Counter& retries = obs::counter("exec.shard_retries");
+  retries.add(1);
+#endif
+}
+
+void note_shard_giveup() {
+#ifndef INSOMNIA_OBS_DISABLED
+  static obs::Counter& giveups = obs::counter("exec.shard_giveups");
+  giveups.add(1);
+#endif
+}
+
+void backoff_sleep(const RetryPolicy& policy, std::size_t shard, int failures) {
+  if (policy.backoff_base_ms <= 0.0) return;
+  // Capped exponential growth with FULL jitter: the delay is uniform in
+  // [0, min(cap, base * 2^failures)], which decorrelates retry stampedes
+  // (see the AWS architecture blog's "Exponential Backoff And Jitter").
+  // The draw is keyed on (seed, shard, attempt) — reproducible pacing that
+  // cannot leak into shard results, which never see this RNG.
+  double ceiling = policy.backoff_base_ms;
+  for (int k = 0; k < failures && ceiling < 1e9; ++k) ceiling *= 2.0;
+  if (policy.backoff_cap_ms > 0.0) ceiling = std::min(ceiling, policy.backoff_cap_ms);
+  const std::uint64_t site =
+      sim::Random::substream_seed(policy.seed, shard, kBackoffJitterSalt);
+  sim::Random rng(sim::Random::substream_seed(site, static_cast<std::uint64_t>(failures),
+                                              kBackoffJitterSalt));
+  const double delay_ms = rng.uniform(0.0, ceiling);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+}  // namespace detail
 
 SweepRunner::SweepRunner(int threads)
     : threads_(threads <= 0 ? default_thread_count() : threads) {

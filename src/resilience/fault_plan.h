@@ -1,0 +1,112 @@
+// Deterministic fault injection for chaos-testing the fleet layers. A
+// FaultPlan names which faults are armed and how hot they run; every
+// fire/no-fire decision is a pure function of (seed, site stream, site salt,
+// attempt) drawn through sim::Random keyed substreams — never of wall
+// clock, thread schedule, or process count — so any chaos run is
+// bit-reproducible at any --threads/--procs and a failing fault sequence
+// can be replayed from its spec alone.
+//
+// Spec grammar (--fault-spec on the fleet drivers, INSOMNIA_FAULTS in the
+// environment):
+//
+//   spec    := "" | entry ("," entry)*
+//   entry   := key "=" value
+//   key     := shard-throw | slow-shard | child-kill | ckpt-torn
+//            | ckpt-short | ckpt-flip | trace-garble | seed
+//   value   := probability                  (in [0, 1])
+//            | probability ":" duration     (slow-shard only; "500ms", "2s")
+//            | uint64                       (seed only)
+//
+// e.g. "shard-throw=0.01,child-kill=0.05,ckpt-torn=1,slow-shard=0.02:500ms".
+// Sites and what firing means:
+//
+//   shard-throw   a city shard attempt throws InjectedFault (per attempt —
+//                 a retry draws a fresh decision, so p < 1 heals eventually
+//                 and p = 1 is an unrecoverable shard)
+//   slow-shard    a shard attempt sleeps for the given duration first
+//   child-kill    a --procs worker SIGKILLs itself after its first
+//                 checkpoint flush (per (slice, re-fork generation))
+//   ckpt-torn     a checkpoint flush "crashes" mid-write: a torn .tmp is
+//                 left beside the last good committed file (the salvage
+//                 path discards it on the next load)
+//   ckpt-short    the committed checkpoint file is truncated after the
+//                 rename (data loss — the next load must refuse loudly)
+//   ckpt-flip     one bit of the committed checkpoint file is flipped
+//                 (corruption — the next load must refuse loudly)
+//   trace-garble  a flow-trace data row fails to parse
+//
+// `seed` keys sites that have no run seed of their own (trace parsing);
+// fleet sites key on the country seed so chaos follows the experiment.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace insomnia::resilience {
+
+/// Thrown by armed injection sites. Derives from std::runtime_error, so the
+/// retry/quarantine machinery treats it exactly like a real transient
+/// failure (util::InvalidArgument preconditions, by contrast, never retry).
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Substream salts owned by the resilience layer (city owns 11-15, country
+/// 21-22). Every injection site keys its decisions with its own salt so two
+/// sites sharing a stream never correlate.
+inline constexpr std::uint64_t kShardThrowSalt = 41;
+inline constexpr std::uint64_t kSlowShardSalt = 42;
+inline constexpr std::uint64_t kChildKillSalt = 43;
+inline constexpr std::uint64_t kCkptTornSalt = 44;
+inline constexpr std::uint64_t kCkptShortSalt = 45;
+inline constexpr std::uint64_t kCkptFlipSalt = 46;
+inline constexpr std::uint64_t kTraceGarbleSalt = 47;
+
+/// Which faults are armed and how hot. All probabilities default to 0
+/// (nothing armed); parse_fault_plan builds one from the spec grammar.
+struct FaultPlan {
+  double shard_throw = 0.0;
+  double slow_shard = 0.0;
+  double slow_shard_ms = 100.0;  ///< sleep when slow_shard fires
+  double child_kill = 0.0;
+  double ckpt_torn = 0.0;
+  double ckpt_short = 0.0;
+  double ckpt_flip = 0.0;
+  double trace_garble = 0.0;
+  /// Keys sites with no run seed of their own (trace parsing). Fleet sites
+  /// key on the country seed instead, so the same plan follows any run.
+  std::uint64_t seed = 0;
+
+  /// True when any fault is armed.
+  bool any() const;
+
+  /// Human-readable one-liner of the armed faults ("none" when !any()).
+  std::string summary() const;
+};
+
+/// Parses the spec grammar above. Throws util::InvalidArgument naming the
+/// offending entry on an unknown key, a probability outside [0, 1], or a
+/// malformed duration; an empty spec is the empty plan.
+FaultPlan parse_fault_plan(std::string_view spec);
+
+/// The process-wide plan: parsed once from INSOMNIA_FAULTS (empty plan when
+/// unset). Deep layers with no plumbing of their own (trace parsing)
+/// consult this; the fleet drivers overwrite it from --fault-spec so every
+/// site agrees. Set before spawning workers — the slot is not locked.
+const FaultPlan& global_fault_plan();
+void set_global_fault_plan(const FaultPlan& plan);
+
+/// One deterministic fire decision: a pure function of every argument.
+/// Same (probability, seed, stream, salt, attempt) -> same answer on any
+/// thread, in any process, in any order. p <= 0 never fires, p >= 1 always.
+bool fault_fires(double probability, std::uint64_t seed, std::uint64_t stream,
+                 std::uint64_t salt, std::uint64_t attempt = 0);
+
+/// Bumps the "resilience.injected.<what>" obs counter — every site records
+/// the faults it actually fired, so chaos runs are auditable in telemetry.
+void count_injected(const char* what);
+
+}  // namespace insomnia::resilience

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "resilience/fault_plan.h"
 #include "util/csv.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -41,7 +42,18 @@ FlowTrace read_flow_trace(std::istream& in) {
   FlowTrace flows;
   flows.reserve(doc.rows.size());
   double last_time = -1.0;
-  for (const auto& row : doc.rows) {
+  // Chaos hook: a trace-garble plan makes random rows "unparseable" without
+  // needing a corrupted fixture file — same loud rejection path as real
+  // corruption, keyed on the row index so the failing rows are stable.
+  const resilience::FaultPlan& faults = resilience::global_fault_plan();
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    if (resilience::fault_fires(faults.trace_garble, faults.seed, r,
+                                resilience::kTraceGarbleSalt)) {
+      resilience::count_injected("trace_garble");
+      throw util::InvalidArgument("injected trace fault at data row " +
+                                  std::to_string(r));
+    }
     util::require(row.size() == 3, "flow trace row must have 3 fields");
     FlowRecord record;
     record.start_time = parse_field(row[0]);

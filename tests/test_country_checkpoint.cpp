@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -159,6 +160,43 @@ TEST(CountryCheckpoint, FingerprintMismatchIsRefusedExplicitly) {
   const std::string message = error_of([&] { read_checkpoint_file(path, 11); });
   EXPECT_NE(message.find("different country configuration"), std::string::npos)
       << message;
+}
+
+TEST(CountryCheckpoint, DirectoryLoadSalvagesTornTmpDebris) {
+  const std::string dir = fresh_dir("salvage");
+  const std::vector<CityDigest> digests = sample_digests();
+  write_checkpoint_file(dir + "/worker-1.ckpt", 9, digests);
+  // A worker killed mid-write leaves a .tmp behind (the rename never ran).
+  // Its contents are arbitrary garbage — salvage must discard, not parse.
+  std::ofstream(dir + "/worker-2.ckpt.tmp")
+      << "insomnia-country-checkpoint v1\nshard 0 0";
+
+  const std::vector<CityDigest> loaded = load_checkpoint_dir(dir, 9);
+  ASSERT_EQ(loaded.size(), digests.size());
+  for (std::size_t i = 0; i < digests.size(); ++i) expect_same(digests[i], loaded[i]);
+  // The debris is gone: the next resume sees a clean directory.
+  EXPECT_FALSE(fs::exists(dir + "/worker-2.ckpt.tmp"));
+  EXPECT_TRUE(fs::exists(dir + "/worker-1.ckpt"));
+}
+
+TEST(CountryCheckpoint, SalvageNeverTouchesCommittedCorruption) {
+  // Corruption PAST the atomic rename is a real integrity violation —
+  // salvage applies only to .tmp debris; a bad committed file still refuses.
+  const std::string dir = fresh_dir("committed_corruption");
+  const std::string path = dir + "/worker-1.ckpt";
+  write_checkpoint_file(path, 3, sample_digests());
+
+  // Flip one bit in the middle of the committed file.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  bytes[bytes.size() / 2] ^= 0x10;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+
+  EXPECT_THROW(load_checkpoint_dir(dir, 3), util::InvalidArgument);
+  EXPECT_TRUE(fs::exists(path));  // refused, never deleted
 }
 
 TEST(CountryCheckpoint, FingerprintTracksEverythingThatShapesResults) {
