@@ -88,6 +88,9 @@ Args parse_args(int argc, char** argv) {
       args.options.faults = resilience::parse_fault_plan(value("--fault-spec"));
       // Forked workers and the trace layer read the global plan.
       resilience::set_global_fault_plan(args.options.faults);
+    } else if (arg == "--list-faults") {
+      std::cout << resilience::fault_spec_help();
+      std::exit(0);
     } else if (arg == "--max-attempts") {
       args.options.max_attempts = positive_int("--max-attempts");
     } else if (arg == "--fail-fast") {
@@ -97,7 +100,7 @@ Args parse_args(int argc, char** argv) {
           "unknown argument \"" + arg + "\"; usage: " + argv[0] +
           " [--scale F] [--nbhd-scale F] [--seed S] [--scheme NAME] [--threads N]"
           " [--procs N] [--checkpoint DIR] [--flush-every N] [--max-shards N]"
-          " [--fault-spec SPEC] [--max-attempts N] [--fail-fast]"
+          " [--fault-spec SPEC] [--list-faults] [--max-attempts N] [--fail-fast]"
           " [--json PATH] [--list-schemes]");
     }
   }

@@ -111,3 +111,32 @@ for name in ref["presets"]:
             f"engine divergence on {name}.{key}: reference={r[key]} incremental={i[key]}")
 print("fluid engines agree on", ", ".join(sorted(ref["presets"])))
 EOF
+
+# Online-mode replay equivalence: the live controller in virtual time over
+# the same records and seed must produce a report BYTE-identical to the
+# offline engine (docs/LIVE.md). Gate A: the generator source against the
+# synthetic offline day. Gate B: a live day recorded with --record, then
+# replayed both offline (--trace-file) and live (--source tail) — all three
+# reports must agree. Telemetry is off: its block carries wall-clock values.
+INSOMNIA_OBS=off "$build_dir/engine01_run" --runs 1 --seed 42 \
+  --json "$build_dir/live_offline.json" > /dev/null
+INSOMNIA_OBS=off "$build_dir/livectl" --source gen --seed 42 \
+  --json "$build_dir/live_gen.json" > /dev/null
+cmp "$build_dir/live_gen.json" "$build_dir/live_offline.json"
+INSOMNIA_OBS=off "$build_dir/livectl" --source gen --seed 42 \
+  --record "$build_dir/live_recorded.trace" > /dev/null
+INSOMNIA_OBS=off "$build_dir/engine01_run" --runs 1 --seed 42 \
+  --trace-file "$build_dir/live_recorded.trace" \
+  --json "$build_dir/live_replay_offline.json" > /dev/null
+INSOMNIA_OBS=off "$build_dir/livectl" --source tail \
+  --path "$build_dir/live_recorded.trace" --seed 42 \
+  --json "$build_dir/live_replay_tail.json" > /dev/null
+cmp "$build_dir/live_replay_tail.json" "$build_dir/live_replay_offline.json"
+
+# Obs-enabled livectl leg: the JSON must parse and its telemetry block must
+# carry the ingest->decision latency histogram (the bounded-latency claim
+# is measured, not asserted).
+INSOMNIA_HEARTBEAT=off "$build_dir/livectl" --source gen --seed 42 \
+  --json "$build_dir/live_obs.json" > /dev/null
+python3 -m json.tool "$build_dir/live_obs.json" > /dev/null
+grep -q "live.ingest_decision_ns" "$build_dir/live_obs.json"

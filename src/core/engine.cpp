@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/day_summary.h"
 #include "core/metrics.h"
 #include "core/scenario_presets.h"
 #include "exec/sweep_runner.h"
@@ -16,30 +17,6 @@
 #include "util/json_writer.h"
 
 namespace insomnia::core {
-
-namespace {
-
-/// Exact per-bin total (user + ISP) energy integrals of one run.
-std::vector<double> bin_total_energy(const RunMetrics& metrics, std::size_t bins) {
-  std::vector<double> out(bins);
-  const double width = metrics.duration / static_cast<double>(bins);
-  for (std::size_t i = 0; i < bins; ++i) {
-    const double lo = width * static_cast<double>(i);
-    const double hi = (i + 1 == bins) ? metrics.duration : lo + width;
-    out[i] = metrics.user_power.integral(lo, hi) + metrics.isp_power.integral(lo, hi);
-  }
-  return out;
-}
-
-/// Everything one paired day contributes to the report.
-struct DayOutput {
-  EngineDay day;
-  std::vector<double> baseline_energy_bins;
-  std::vector<double> scheme_energy_bins;
-  std::vector<double> online_gateways;  ///< binned means
-};
-
-}  // namespace
 
 Engine::Engine() : registry_(&scheme_registry()) {}
 
@@ -90,7 +67,7 @@ RunReport Engine::run(const RunSpec& spec) const {
   if (!spec.trace_file.empty()) recorded = trace::load_flow_trace(spec.trace_file);
 
   exec::SweepRunner runner(spec.threads);
-  const std::vector<DayOutput> outputs =
+  const std::vector<PairedDaySummary> outputs =
       runner.run(static_cast<std::size_t>(spec.runs), [&](std::size_t run) {
         OBS_SCOPE("engine.day");
         trace::FlowTrace generated;
@@ -107,76 +84,13 @@ RunReport Engine::run(const RunSpec& spec) const {
             run_scheme(scenario, topology, flows, scheme,
                        sim::Random::substream_seed(spec.seed, run, 100));
 
-        DayOutput out;
-        out.day.baseline_user_energy = baseline.user_energy();
-        out.day.baseline_isp_energy = baseline.isp_energy();
-        out.day.user_energy = metrics.user_energy();
-        out.day.isp_energy = metrics.isp_energy();
-        const double base_total =
-            out.day.baseline_user_energy + out.day.baseline_isp_energy;
-        const double mine_total = out.day.user_energy + out.day.isp_energy;
-        out.day.savings = base_total > 0.0 ? 1.0 - mine_total / base_total : 0.0;
-        const double user_saved = out.day.baseline_user_energy - out.day.user_energy;
-        const double isp_saved = out.day.baseline_isp_energy - out.day.isp_energy;
-        const double total_saved = user_saved + isp_saved;
-        out.day.isp_share = total_saved > 0.0 ? isp_saved / total_saved : 0.0;
-        out.day.peak_online_gateways =
-            metrics.online_gateways.mean(spec.peak_start, spec.peak_end);
-        out.day.peak_online_cards =
-            metrics.online_cards.mean(spec.peak_start, spec.peak_end);
-        out.day.wake_events = metrics.gateway_wake_events;
-        out.day.bh2_moves = metrics.bh2_moves;
-        out.day.bh2_home_returns = metrics.bh2_home_returns;
-        out.day.executed_events = metrics.executed_events;
-        out.day.flows = static_cast<std::uint64_t>(flows.size());
-
-        out.baseline_energy_bins = bin_total_energy(baseline, spec.bins);
-        out.scheme_energy_bins = bin_total_energy(metrics, spec.bins);
-        out.online_gateways =
-            metrics.online_gateways.binned_means(0.0, metrics.duration, spec.bins);
-        return out;
+        return summarize_paired_day(baseline, metrics,
+                                    static_cast<std::uint64_t>(flows.size()), spec.bins,
+                                    spec.peak_start, spec.peak_end);
       });
 
   // Fold in run order — independent of the thread count.
-  std::vector<double> baseline_bins(spec.bins, 0.0);
-  std::vector<double> scheme_bins(spec.bins, 0.0);
-  std::vector<std::vector<double>> gateway_rows;
-  double baseline_energy = 0.0;
-  double scheme_energy = 0.0;
-  double baseline_user = 0.0;
-  double scheme_user = 0.0;
-  double peak_gateways = 0.0;
-  double wakes = 0.0;
-  for (const DayOutput& out : outputs) {
-    report.days.push_back(out.day);
-    for (std::size_t i = 0; i < spec.bins; ++i) {
-      baseline_bins[i] += out.baseline_energy_bins[i];
-      scheme_bins[i] += out.scheme_energy_bins[i];
-    }
-    gateway_rows.push_back(out.online_gateways);
-    baseline_energy += out.day.baseline_user_energy + out.day.baseline_isp_energy;
-    scheme_energy += out.day.user_energy + out.day.isp_energy;
-    baseline_user += out.day.baseline_user_energy;
-    scheme_user += out.day.user_energy;
-    peak_gateways += out.day.peak_online_gateways;
-    wakes += static_cast<double>(out.day.wake_events);
-    report.executed_events += out.day.executed_events;
-  }
-
-  report.day_savings = baseline_energy > 0.0 ? 1.0 - scheme_energy / baseline_energy : 0.0;
-  const double user_saved = baseline_user - scheme_user;
-  const double total_saved = baseline_energy - scheme_energy;
-  report.day_isp_share = total_saved > 0.0 ? (total_saved - user_saved) / total_saved : 0.0;
-  const double runs_d = static_cast<double>(spec.runs);
-  report.peak_online_gateways = peak_gateways / runs_d;
-  report.mean_wake_events = wakes / runs_d;
-
-  report.savings_series.resize(spec.bins);
-  for (std::size_t i = 0; i < spec.bins; ++i) {
-    report.savings_series[i] =
-        baseline_bins[i] > 0.0 ? 1.0 - scheme_bins[i] / baseline_bins[i] : 0.0;
-  }
-  report.online_gateways_series = stats::elementwise_mean(gateway_rows);
+  fold_paired_days(outputs, report);
   return report;
 }
 

@@ -71,6 +71,15 @@ AccessRuntime::AccessRuntime(const ScenarioConfig& scenario,
   metrics_.completion_time.assign(flows.size(), std::numeric_limits<double>::quiet_NaN());
 }
 
+AccessRuntime::AccessRuntime(const ScenarioConfig& scenario,
+                             const topo::AccessTopology& topology, Policy& policy,
+                             sim::Random rng, LiveMode mode)
+    : AccessRuntime(scenario, topology, live_flows_, policy, rng) {
+  live_ = true;
+  live_gated_ = mode.gated;
+  live_last_time_ = -1.0;  // the sorted-times floor read_flow_trace uses
+}
+
 GatewayState AccessRuntime::gateway_state(int gateway) const {
   return states_.at(static_cast<std::size_t>(gateway));
 }
@@ -243,14 +252,25 @@ double AccessRuntime::ArrivalStream::next_time() const {
 }
 
 void AccessRuntime::arm_next_arrival() {
-  if (cursor_ >= flows_->size()) return;
+  if (arrival_armed_ || cursor_ >= flows_->size()) return;
   arrival_rank_ = simulator_.allocate_sequence();
+  arrival_armed_ = true;
+}
+
+bool AccessRuntime::arrival_ready() const {
+  // Gated live replay holds the LAST buffered arrival back until its
+  // successor exists (or never will): the successor's rank is claimed while
+  // the head is processed, and claiming it later — after other events
+  // allocated sequence numbers — would break same-instant FIFO ties against
+  // the offline replay.
+  return !live_gated_ || live_input_done_ || cursor_ + 1 < flows_->size();
 }
 
 void AccessRuntime::process_arrival() {
   const trace::FlowRecord& record = (*flows_)[cursor_];
   const auto id = static_cast<flow::FlowId>(cursor_);
   ++cursor_;
+  arrival_armed_ = false;
   arm_next_arrival();
 
   const int gateway = policy_->route_flow(*this, record.client, record.bytes);
@@ -262,6 +282,7 @@ void AccessRuntime::process_arrival() {
 }
 
 RunMetrics AccessRuntime::run() {
+  util::require_state(!live_, "AccessRuntime::run needs the trace constructor");
   util::require_state(!ran_, "AccessRuntime::run may only be called once");
   ran_ = true;
 
@@ -272,8 +293,10 @@ RunMetrics AccessRuntime::run() {
   arm_next_arrival();
   ArrivalStream arrivals(*this);
   simulator_.run_until(scenario_->duration + scenario_->drain_time, &arrivals);
+  return assemble_metrics();
+}
 
-  // Assemble metrics.
+RunMetrics AccessRuntime::assemble_metrics() {
   metrics_.executed_events = simulator_.executed_events();
   metrics_.user_power = households_.power_series();
   metrics_.isp_power = stats::sum_series({&modems_.power_series(), &cards_.power_series()},
@@ -283,9 +306,75 @@ RunMetrics AccessRuntime::run() {
   metrics_.gateway_online_time.resize(static_cast<std::size_t>(scenario_->gateway_count));
   for (int g = 0; g < scenario_->gateway_count; ++g) {
     metrics_.gateway_online_time[static_cast<std::size_t>(g)] =
-        households_.online_time(g, 0.0, scenario_->duration);
+        households_.online_time(g, 0.0, metrics_.duration);
   }
   return metrics_;
 }
+
+void AccessRuntime::begin_live() {
+  util::require_state(live_, "begin_live needs the LiveMode constructor");
+  util::require_state(!ran_, "begin_live may only be called once");
+  ran_ = true;
+  live_started_ = true;
+
+  if (scenario_->start_awake) {
+    for (int g = 0; g < scenario_->gateway_count; ++g) force_active(g);
+  }
+  policy_->start(*this);
+  // The first arrival's rank is claimed here — after policy start, exactly
+  // where run() claims it — whether or not its record has been appended yet.
+  arm_next_arrival();
+}
+
+void AccessRuntime::append_live_arrivals(const trace::FlowRecord* records,
+                                         std::size_t count) {
+  util::require_state(live_, "append_live_arrivals needs the LiveMode constructor");
+  util::require_state(!live_input_done_,
+                      "append_live_arrivals after finish_live_input");
+  for (std::size_t i = 0; i < count; ++i) {
+    trace::FlowRecord record = records[i];
+    util::require(record.client >= 0 && record.client < scenario_->client_count,
+                  "live arrival client out of range for the scenario");
+    util::require(record.bytes >= 0.0, "flow bytes must be non-negative");
+    if (live_gated_) {
+      util::require(record.start_time >= live_last_time_,
+                    "live arrivals must be sorted by time");
+    } else {
+      // Wall-clock mode: a late or out-of-order event is decided now — the
+      // decision latency is real, the virtual clock never rewinds.
+      record.start_time =
+          std::max({record.start_time, live_last_time_, simulator_.now()});
+    }
+    live_last_time_ = record.start_time;
+    live_flows_.push_back(record);
+    metrics_.completion_time.push_back(std::numeric_limits<double>::quiet_NaN());
+  }
+  if (live_started_) arm_next_arrival();
+}
+
+void AccessRuntime::finish_live_input() {
+  util::require_state(live_, "finish_live_input needs the LiveMode constructor");
+  live_input_done_ = true;
+}
+
+AccessRuntime::StepResult AccessRuntime::step_live(double until) {
+  util::require_state(live_started_, "step_live before begin_live");
+  ArrivalStream arrivals(*this);
+  if (live_gated_) {
+    return simulator_.run_until_gated(until, &arrivals) ? StepResult::kReachedTime
+                                                        : StepResult::kNeedArrival;
+  }
+  simulator_.run_until(until, &arrivals);
+  return StepResult::kReachedTime;
+}
+
+RunMetrics AccessRuntime::finish_live(double covered_duration) {
+  util::require_state(live_started_, "finish_live before begin_live");
+  util::require_state(live_input_done_, "finish_live before finish_live_input");
+  metrics_.duration = covered_duration;
+  return assemble_metrics();
+}
+
+std::size_t AccessRuntime::arrivals_appended() const { return live_flows_.size(); }
 
 }  // namespace insomnia::core

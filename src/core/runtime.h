@@ -55,17 +55,71 @@ class Policy {
   virtual bool sleep_on_idle() const { return true; }
 };
 
-/// One simulated day. Construct, then call run() exactly once.
+/// One simulated day. Construct, then call run() exactly once — or, for the
+/// online controller, construct with LiveMode and drive the incremental
+/// begin_live / append_live_arrivals / step_live / finish_live sequence.
 class AccessRuntime {
  public:
   AccessRuntime(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
                 const trace::FlowTrace& flows, Policy& policy, sim::Random rng);
+
+  /// Incremental-replay mode (src/live/): the runtime owns a growing arrival
+  /// buffer instead of borrowing a complete trace.
+  struct LiveMode {
+    /// With `gated` (virtual-time replay) the last buffered arrival is held
+    /// back until its successor is appended or finish_live_input() promises
+    /// there is none — the successor's FIFO rank is claimed while the head
+    /// is processed, so this is what keeps event order bit-identical to an
+    /// offline run() over the same records. Ungated (wall-clock mode) every
+    /// buffered arrival dispatches immediately and late records are clamped
+    /// to the current virtual time.
+    bool gated = true;
+  };
+  AccessRuntime(const ScenarioConfig& scenario, const topo::AccessTopology& topology,
+                Policy& policy, sim::Random rng, LiveMode mode);
 
   AccessRuntime(const AccessRuntime&) = delete;
   AccessRuntime& operator=(const AccessRuntime&) = delete;
 
   /// Replays the trace and returns the day's metrics.
   RunMetrics run();
+
+  // --- incremental replay (LiveMode constructor only) ---------------------
+
+  /// Mirrors run()'s preamble: warm start, policy start, first arrival armed.
+  /// Call once, after appending any records already on hand.
+  void begin_live();
+
+  /// Appends `count` records to the arrival buffer. Gated mode enforces the
+  /// trace contract (sorted times, non-negative bytes, valid client range);
+  /// ungated mode additionally clamps stale times forward to the current
+  /// virtual time, so late events are decided now rather than rejected.
+  void append_live_arrivals(const trace::FlowRecord* records, std::size_t count);
+
+  /// Promises no further append_live_arrivals calls; opens the gate for the
+  /// final buffered arrival.
+  void finish_live_input();
+
+  enum class StepResult {
+    kReachedTime,   ///< the clock advanced to `until`
+    kNeedArrival,   ///< gated: paused before the last buffered arrival
+  };
+
+  /// Advances virtual time to `until` (monotone across calls). kNeedArrival
+  /// asks the caller to append more records (or finish_live_input) and call
+  /// again with the same `until`.
+  StepResult step_live(double until);
+
+  /// Assembles the day's metrics after the caller has stepped through the
+  /// covered horizon plus drain. `covered_duration` is the virtual span the
+  /// day actually covered (metrics normalise energy/series against it); an
+  /// uninterrupted full-day live replay passes scenario().duration and gets
+  /// metrics bit-identical to run().
+  RunMetrics finish_live(double covered_duration);
+
+  std::size_t arrivals_appended() const;
+  /// Arrivals dispatched into the data plane so far (decision made).
+  std::size_t arrivals_consumed() const { return cursor_; }
 
   // --- policy-facing API --------------------------------------------------
 
@@ -130,11 +184,20 @@ class AccessRuntime {
   /// Claims the FIFO rank of the next trace arrival. The trace is already
   /// time-sorted, so arrivals replay as a sim::EventStream instead of
   /// churning through the event heap; the rank is taken exactly where the
-  /// arrival event used to be scheduled, keeping event order identical.
+  /// arrival event used to be scheduled, keeping event order identical. In
+  /// live mode a rank is only claimed once the record exists; appending the
+  /// record later claims it then (the gate keeps those two points the same
+  /// instant in the event order).
   void arm_next_arrival();
 
   /// Processes the trace flow at `cursor_`.
   void process_arrival();
+
+  /// Gate for run_until_gated: may the arrival at `cursor_` dispatch now?
+  bool arrival_ready() const;
+
+  /// Shared metrics-assembly tail of run() / finish_live().
+  RunMetrics assemble_metrics();
 
   /// Adapts the trace cursor to sim::EventStream for the run loop.
   class ArrivalStream : public sim::EventStream {
@@ -143,6 +206,7 @@ class AccessRuntime {
     double next_time() const override;
     std::uint64_t next_rank() const override { return runtime_->arrival_rank_; }
     void fire() override { runtime_->process_arrival(); }
+    bool ready() const override { return runtime_->arrival_ready(); }
 
    private:
     AccessRuntime* runtime_;
@@ -174,7 +238,19 @@ class AccessRuntime {
   RunMetrics metrics_;
   std::size_t cursor_ = 0;
   std::uint64_t arrival_rank_ = 0;
+  bool arrival_armed_ = false;
   bool ran_ = false;
+
+  // Live-mode state. `live_flows_` backs `flows_` for the LiveMode
+  // constructor (the delegating constructor binds the reference before the
+  // vector is constructed — only its address is taken, and it is
+  // default-constructed before any constructor body reads it).
+  bool live_ = false;
+  bool live_gated_ = false;
+  bool live_started_ = false;
+  bool live_input_done_ = false;
+  double live_last_time_ = 0.0;
+  trace::FlowTrace live_flows_;
 };
 
 }  // namespace insomnia::core

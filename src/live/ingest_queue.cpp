@@ -1,0 +1,60 @@
+#include "live/ingest_queue.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace insomnia::live {
+
+IngestQueue::IngestQueue(std::size_t capacity, OverflowPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  util::require(capacity >= 1, "ingest queue needs capacity >= 1");
+}
+
+std::size_t IngestQueue::push_batch(const trace::FlowRecord* records, std::size_t count,
+                                    std::uint64_t stamp_ns) {
+  const std::size_t room = free_slots();
+  const std::size_t taken = std::min(count, room);
+  if (taken < count) {
+    util::require_state(policy_ == OverflowPolicy::kDropNewest,
+                        "backpressure ingest queue overfilled — poll must honour "
+                        "free_slots()");
+    dropped_ += count - taken;
+  }
+  if (taken == 0) return 0;
+  records_.insert(records_.end(), records, records + taken);
+  if (!stamps_.empty() && stamps_.back().stamp_ns == stamp_ns) {
+    stamps_.back().count += static_cast<std::uint32_t>(taken);
+  } else {
+    stamps_.push_back({stamp_ns, static_cast<std::uint32_t>(taken)});
+  }
+  accepted_ += taken;
+  peak_depth_ = std::max(peak_depth_, records_.size());
+  return taken;
+}
+
+std::size_t IngestQueue::pop(std::size_t max, trace::FlowTrace& records,
+                             std::deque<StampRun>& stamps) {
+  const std::size_t taken = std::min(max, records_.size());
+  if (taken == 0) return 0;
+  records.insert(records.end(), records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(taken));
+  records_.erase(records_.begin(), records_.begin() + static_cast<std::ptrdiff_t>(taken));
+  std::size_t remaining = taken;
+  while (remaining > 0) {
+    StampRun& head = stamps_.front();
+    const std::uint32_t slice =
+        static_cast<std::uint32_t>(std::min<std::size_t>(remaining, head.count));
+    if (!stamps.empty() && stamps.back().stamp_ns == head.stamp_ns) {
+      stamps.back().count += slice;
+    } else {
+      stamps.push_back({head.stamp_ns, slice});
+    }
+    head.count -= slice;
+    if (head.count == 0) stamps_.pop_front();
+    remaining -= slice;
+  }
+  return taken;
+}
+
+}  // namespace insomnia::live

@@ -1,0 +1,453 @@
+#include "live/live_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <iostream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/day_summary.h"
+#include "core/metrics.h"
+#include "core/runtime.h"
+#include "core/scheme_registry.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/profiler.h"
+#include "sim/random.h"
+#include "topology/access_topology.h"
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace insomnia::live {
+
+namespace {
+
+constexpr std::size_t kPollBatch = 4096;
+
+topo::AccessTopology make_live_topology(const LiveController::Options& options) {
+  // Same derivation as Engine::run: topology from substream (seed, 0, 7).
+  sim::Random rng(sim::Random::substream_seed(options.seed, 0, 7));
+  return topo::make_overlap_topology(options.scenario.client_count,
+                                     options.scenario.degrees, rng);
+}
+
+core::ScenarioConfig configure(core::ScenarioConfig scenario,
+                               const core::SchemeSpec& spec) {
+  scenario.dslam.mode = spec.switch_mode;
+  return scenario;
+}
+
+// Mirrors the per-day histogram run_scheme records, so a live day folds into
+// "day.events" exactly like its offline twin (baseline first, then scheme).
+void record_day_events(const core::RunMetrics& metrics) {
+#ifndef INSOMNIA_OBS_DISABLED
+  obs::histogram("day.events").record(static_cast<double>(metrics.executed_events));
+#else
+  (void)metrics;
+#endif
+}
+
+}  // namespace
+
+void LatencyTrack::record_n(std::uint64_t ns, std::uint64_t n) {
+  if (n == 0) return;
+  if (count_ == 0 || ns < min_ns_) min_ns_ = ns;
+  if (ns > max_ns_) max_ns_ = ns;
+  count_ += n;
+#if defined(__GNUC__)
+  const int bin = ns <= 1 ? 0 : std::min(63 - __builtin_clzll(ns), kBins - 1);
+#else
+  int bin = 0;
+  for (std::uint64_t v = ns; v > 1 && bin < kBins - 1; v >>= 1) ++bin;
+#endif
+  bins_[bin] += n;
+}
+
+double LatencyTrack::quantile_ns(double q) const {
+  if (count_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBins; ++b) {
+    seen += bins_[b];
+    if (seen >= target) {
+      const double upper = std::ldexp(1.0, b + 1);
+      return std::clamp(upper, static_cast<double>(min_ns_),
+                        static_cast<double>(max_ns_));
+    }
+  }
+  return static_cast<double>(max_ns_);
+}
+
+// The paired twins of one live day: the no-sleep baseline and the scheme
+// under study over the very same arrival stream (the engine's paired-run
+// methodology, fed incrementally). Constructed exactly as run_scheme does —
+// switch fabric applied to a scenario copy, then the policy, then the
+// runtime with the run-0 baseline/scheme seed substreams.
+struct LiveController::Twins {
+  topo::AccessTopology topology;
+  core::ScenarioConfig baseline_config;
+  core::ScenarioConfig scheme_config;
+  std::unique_ptr<core::Policy> baseline_policy;
+  std::unique_ptr<core::Policy> scheme_policy;
+  core::AccessRuntime baseline;
+  core::AccessRuntime scheme;
+
+  Twins(const Options& options, const core::SchemeSpec& baseline_spec,
+        const core::SchemeSpec& scheme_spec, bool gated)
+      : topology(make_live_topology(options)),
+        baseline_config(configure(options.scenario, baseline_spec)),
+        scheme_config(configure(options.scenario, scheme_spec)),
+        baseline_policy(baseline_spec.make_policy(baseline_config)),
+        scheme_policy(scheme_spec.make_policy(scheme_config)),
+        baseline(baseline_config, topology, *baseline_policy,
+                 sim::Random(sim::Random::substream_seed(options.seed, 0, 2)),
+                 core::AccessRuntime::LiveMode{gated}),
+        scheme(scheme_config, topology, *scheme_policy,
+               sim::Random(sim::Random::substream_seed(options.seed, 0, 100)),
+               core::AccessRuntime::LiveMode{gated}) {}
+
+  void append(const trace::FlowRecord* records, std::size_t count) {
+    baseline.append_live_arrivals(records, count);
+    scheme.append_live_arrivals(records, count);
+  }
+
+  void finish_input() {
+    baseline.finish_live_input();
+    scheme.finish_live_input();
+  }
+};
+
+LiveController::LiveController(Options options, std::unique_ptr<EventSource> source)
+    : options_(std::move(options)),
+      source_(std::move(source)),
+      queue_(options_.queue_capacity, options_.overflow) {
+  util::require(source_ != nullptr, "live controller needs an event source");
+  util::require(options_.scenario.duration > 0, "live run needs a positive horizon");
+  util::require(options_.bins >= 1, "live run needs at least one bin");
+  util::require(options_.peak_start < options_.peak_end, "peak window must not be empty");
+  util::require(options_.tick_virtual_sec > 0 && options_.tick_wall_sec > 0,
+                "tick sizes must be positive");
+  util::require(options_.speedup > 0, "speedup must be positive");
+  util::require(options_.overflow == OverflowPolicy::kBackpressure ||
+                    options_.pace == PaceMode::kWall,
+                "drop-newest load shedding requires wall pacing (a virtual-time "
+                "replay must decide every record)");
+}
+
+LiveController::~LiveController() = default;
+
+std::size_t LiveController::ingest(double horizon) {
+  poll_into_queue(horizon);
+  return drain_queue();
+}
+
+std::size_t LiveController::poll_into_queue(double horizon) {
+  OBS_SCOPE("live.poll");
+  // Move whatever the source has (up to `horizon` for the generator) into
+  // the bounded queue, one ingest stamp per batch.
+  std::size_t accepted = 0;
+  while (!source_->exhausted()) {
+    const std::size_t room = options_.overflow == OverflowPolicy::kBackpressure
+                                 ? queue_.free_slots()
+                                 : kPollBatch;
+    if (room == 0) break;
+    scratch_.clear();
+    const std::size_t got = source_->poll(horizon, std::min(room, kPollBatch), scratch_);
+    if (got == 0) break;
+    const std::uint64_t stamp = obs::now_ns();
+    // Under kDropNewest the overflow is the batch TAIL, so the accepted
+    // records are exactly the first `taken` — what the recorder mirrors.
+    const std::size_t taken = queue_.push_batch(scratch_.data(), got, stamp);
+    accepted += taken;
+    if (record_out_.is_open() && taken > 0) {
+      util::CsvWriter writer(record_out_);
+      for (std::size_t r = 0; r < taken; ++r) {
+        writer.row({scratch_[r].start_time, static_cast<double>(scratch_[r].client),
+                    scratch_[r].bytes});
+      }
+    }
+  }
+  return accepted;
+}
+
+std::size_t LiveController::drain_queue() {
+  OBS_SCOPE("live.drain");
+  scratch_.clear();
+  const std::size_t drained = queue_.pop(queue_.size(), scratch_, inflight_stamps_);
+  util::require_state(drained == 0 || !input_done_,
+                      "records queued after live input was finished");
+  if (drained > 0) twins_->append(scratch_.data(), drained);
+  return drained;
+}
+
+void LiveController::advance_to(double until, double poll_horizon,
+                                const std::atomic<bool>* stop) {
+  // Wall pace polls fresh records up to `until` so this tick decides them;
+  // virtual pace only appends what the previous tick's helper thread already
+  // prefetched — polling here would put the generator back on the critical
+  // path.
+  if (options_.pace == PaceMode::kWall) {
+    ingest(poll_horizon);
+  } else {
+    drain_queue();
+  }
+  while (true) {
+    // The twins are independent simulations over the same already-appended
+    // records — step them concurrently. The scheme twin is the critical
+    // path, so it keeps the main thread (and its cache); the helper thread
+    // takes the shorter baseline step plus the source prefetch (poll touches
+    // no runtime; the staging buffer, queue and appends are only ever used
+    // between joins, so nothing is seen by two threads at once).
+    auto baseline_future = std::async(std::launch::async, [&] {
+      const auto step = twins_->baseline.step_live(until);
+      poll_into_queue(poll_horizon);
+      return step;
+    });
+    const auto scheme_step = twins_->scheme.step_live(until);
+    const auto baseline_step = baseline_future.get();
+    const std::size_t appended = drain_queue();
+    if (baseline_step == core::AccessRuntime::StepResult::kReachedTime &&
+        scheme_step == core::AccessRuntime::StepResult::kReachedTime) {
+      break;
+    }
+    // The gate starved: the last buffered arrival needs its successor (or an
+    // end-of-input promise) before it may dispatch.
+    if (appended > 0) continue;
+    if (ingest(std::numeric_limits<double>::infinity()) > 0) continue;
+    if (source_->exhausted() || (stop != nullptr && stop->load())) {
+      if (!input_done_) {
+        twins_->finish_input();
+        input_done_ = true;
+      }
+      continue;  // the gate is open; stepping now reaches `until`
+    }
+    // A live source with nothing buffered yet: wait for bytes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  account_latency();
+}
+
+void LiveController::account_latency() {
+  const std::uint64_t consumed = twins_->scheme.arrivals_consumed();
+  std::uint64_t newly = consumed - stats_.decided;
+  if (newly == 0) return;
+  const std::uint64_t now = obs::now_ns();
+#ifndef INSOMNIA_OBS_DISABLED
+  static obs::Histogram& decision_ns =
+      obs::histogram("live.ingest_decision_ns", /*lo=*/100.0, /*hi=*/1e10);
+  const bool telemetry = obs::enabled();
+#endif
+  while (newly > 0) {
+    util::require_state(!inflight_stamps_.empty(),
+                        "live latency accounting lost an ingest stamp");
+    StampRun& run = inflight_stamps_.front();
+    const auto slice =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(newly, run.count));
+    const std::uint64_t ns = now >= run.stamp_ns ? now - run.stamp_ns : 0;
+    latency_.record_n(ns, slice);
+#ifndef INSOMNIA_OBS_DISABLED
+    if (telemetry) {
+      for (std::uint32_t s = 0; s < slice; ++s) {
+        decision_ns.record(static_cast<double>(ns));
+      }
+    }
+#endif
+    run.count -= slice;
+    if (run.count == 0) inflight_stamps_.pop_front();
+    newly -= slice;
+  }
+  stats_.decided = consumed;
+}
+
+void LiveController::heartbeat(double virtual_time) {
+  if (options_.heartbeat_sec <= 0) return;
+  const std::uint64_t now = obs::now_ns();
+  if (now < next_heartbeat_ns_) return;
+  next_heartbeat_ns_ =
+      now + static_cast<std::uint64_t>(options_.heartbeat_sec * 1e9);
+  const double wall = static_cast<double>(now - wall_start_ns_) / 1e9;
+  std::cerr << "[live] vt " << virtual_time << "s | wall " << wall << "s | ingested "
+            << queue_.accepted() << " | decided " << stats_.decided << " | queue "
+            << queue_.size() << " (peak " << queue_.peak_depth() << ") | dropped "
+            << queue_.dropped() << " | online gw "
+            << twins_->scheme.online_gateway_count() << "/"
+            << options_.scenario.gateway_count << "\n";
+}
+
+LiveResult LiveController::run(const std::atomic<bool>* stop) {
+  OBS_SCOPE("live.run");
+  util::require_state(twins_ == nullptr, "LiveController::run may be called once");
+
+  const core::SchemeSpec& scheme_spec = core::find_scheme(options_.scheme);
+  const core::SchemeSpec& baseline_spec = core::find_scheme("no-sleep");
+  const bool gated = options_.pace == PaceMode::kVirtual;
+  {
+    OBS_SCOPE("live.setup");
+    twins_ = std::make_unique<Twins>(options_, baseline_spec, scheme_spec, gated);
+  }
+
+  core::RunReport report;
+  report.scheme = scheme_spec.name;
+  report.scheme_display = scheme_spec.display;
+  report.preset = options_.preset_name;
+  report.trace_file = options_.trace_file;
+  report.seed = options_.seed;
+  report.runs = 1;
+  report.bins = options_.bins;
+  report.peak_start = options_.peak_start;
+  report.peak_end = options_.peak_end;
+  report.clients = options_.scenario.client_count;
+  report.gateways = options_.scenario.gateway_count;
+
+  if (!options_.record_path.empty()) {
+    record_out_.open(options_.record_path);
+    util::require(static_cast<bool>(record_out_),
+                  "cannot write trace record file " + options_.record_path);
+    util::CsvWriter writer(record_out_);
+    writer.header({"start_time", "client", "bytes"});
+  }
+
+  wall_start_ns_ = obs::now_ns();
+  next_heartbeat_ns_ =
+      wall_start_ns_ + static_cast<std::uint64_t>(options_.heartbeat_sec * 1e9);
+
+  const double day_span = options_.scenario.duration;
+  double virtual_time = 0.0;
+  bool interrupted = false;
+
+  // Records already on hand land in the buffer before the warm start.
+  ingest(options_.pace == PaceMode::kVirtual ? options_.tick_virtual_sec : 0.0);
+  twins_->baseline.begin_live();
+  twins_->scheme.begin_live();
+
+  if (options_.pace == PaceMode::kVirtual) {
+    while (virtual_time < day_span) {
+      if (stop != nullptr && stop->load()) {
+        interrupted = true;
+        break;
+      }
+      if (options_.max_wall_sec > 0 &&
+          static_cast<double>(obs::now_ns() - wall_start_ns_) / 1e9 >=
+              options_.max_wall_sec) {
+        break;
+      }
+      virtual_time = std::min(virtual_time + options_.tick_virtual_sec, day_span);
+      // Two ticks of poll lookahead: records prefetched during tick N cover
+      // past tick N+1's horizon, so N+1 steps through in one round — the
+      // gate never starves at a tick boundary waiting for a successor.
+      advance_to(virtual_time, virtual_time + 2.0 * options_.tick_virtual_sec, stop);
+      ++stats_.ticks;
+#ifndef INSOMNIA_OBS_DISABLED
+      obs::gauge("live.virtual_time_sec").set(virtual_time);
+      obs::gauge("live.online_gateways")
+          .set(static_cast<double>(twins_->scheme.online_gateway_count()));
+#endif
+      heartbeat(virtual_time);
+    }
+  } else {
+    const std::uint64_t start = wall_start_ns_;
+    const auto tick_ns = static_cast<std::uint64_t>(options_.tick_wall_sec * 1e9);
+    std::uint64_t next_tick = start + tick_ns;
+    while (true) {
+      if (stop != nullptr && stop->load()) {
+        interrupted = true;
+        break;
+      }
+      std::uint64_t now = obs::now_ns();
+      if (options_.max_wall_sec > 0 &&
+          static_cast<double>(now - start) / 1e9 >= options_.max_wall_sec) {
+        break;
+      }
+      if (now < next_tick) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(next_tick - now));
+      } else {
+        ++stats_.tick_overruns;
+      }
+      next_tick += tick_ns;
+      now = obs::now_ns();
+      const double elapsed = static_cast<double>(now - start) / 1e9;
+      virtual_time = std::min(elapsed * options_.speedup, day_span);
+      advance_to(virtual_time, virtual_time, stop);
+      ++stats_.ticks;
+#ifndef INSOMNIA_OBS_DISABLED
+      obs::gauge("live.virtual_time_sec").set(virtual_time);
+      obs::gauge("live.online_gateways")
+          .set(static_cast<double>(twins_->scheme.online_gateway_count()));
+#endif
+      heartbeat(virtual_time);
+      if (virtual_time >= day_span) break;
+      if (source_->exhausted() && queue_.empty() &&
+          twins_->scheme.arrivals_consumed() == twins_->scheme.arrivals_appended()) {
+        break;
+      }
+    }
+  }
+
+  // Graceful drain: every queued record still gets a decision, the day
+  // drains for drain_time past the covered span, and the report covers what
+  // was actually simulated. An uninterrupted virtual replay has
+  // covered == duration and this is exactly run()'s epilogue.
+  const double covered = std::max(std::min(virtual_time, day_span), 1e-9);
+  if (!input_done_) {
+    drain_queue();
+    twins_->finish_input();
+    input_done_ = true;
+  }
+  const double drain_end = covered + options_.scenario.drain_time;
+  auto baseline_drain = std::async(std::launch::async, [&] {
+    return twins_->baseline.step_live(drain_end);
+  });
+  const auto scheme_step = twins_->scheme.step_live(drain_end);
+  const auto baseline_step = baseline_drain.get();
+  util::require_state(
+      baseline_step == core::AccessRuntime::StepResult::kReachedTime &&
+          scheme_step == core::AccessRuntime::StepResult::kReachedTime,
+      "live drain stalled with input finished");
+  account_latency();
+  // The ingest window closes with the last decision; assembling the report
+  // below is offline bookkeeping, not part of the streaming path.
+  stats_.wall_seconds = static_cast<double>(obs::now_ns() - wall_start_ns_) / 1e9;
+
+  const core::RunMetrics baseline_metrics = twins_->baseline.finish_live(covered);
+  record_day_events(baseline_metrics);
+  const core::RunMetrics scheme_metrics = twins_->scheme.finish_live(covered);
+  record_day_events(scheme_metrics);
+
+  std::vector<core::PairedDaySummary> days;
+  days.push_back(core::summarize_paired_day(
+      baseline_metrics, scheme_metrics,
+      static_cast<std::uint64_t>(twins_->scheme.arrivals_appended()), options_.bins,
+      options_.peak_start, options_.peak_end));
+  core::fold_paired_days(days, report);
+
+  if (record_out_.is_open()) record_out_.close();
+
+  stats_.interrupted = interrupted;
+  stats_.virtual_seconds = covered;
+  stats_.ingested = queue_.accepted();
+  stats_.dropped = queue_.dropped();
+  stats_.peak_queue_depth = queue_.peak_depth();
+  stats_.ingest_events_per_sec =
+      stats_.wall_seconds > 0 ? static_cast<double>(stats_.ingested) / stats_.wall_seconds
+                              : 0.0;
+  stats_.latency_samples = latency_.count();
+  stats_.latency_p50_ns = latency_.quantile_ns(0.50);
+  stats_.latency_p95_ns = latency_.quantile_ns(0.95);
+  stats_.latency_p99_ns = latency_.quantile_ns(0.99);
+  stats_.latency_max_ns = static_cast<double>(latency_.max_ns());
+#ifndef INSOMNIA_OBS_DISABLED
+  obs::counter("live.ingest.accepted").add(stats_.ingested);
+  obs::counter("live.ingest.dropped").add(stats_.dropped);
+  obs::counter("live.ticks").add(stats_.ticks);
+  obs::counter("live.tick.overruns").add(stats_.tick_overruns);
+  obs::gauge("live.queue.peak_depth").set(static_cast<double>(stats_.peak_queue_depth));
+#endif
+
+  return LiveResult{std::move(report), stats_};
+}
+
+}  // namespace insomnia::live

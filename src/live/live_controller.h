@@ -1,0 +1,173 @@
+// The online fleet controller: polls an EventSource once per tick, moves
+// records through a bounded IngestQueue, feeds them to paired baseline +
+// scheme AccessRuntime twins (the engine's paired-day methodology, run
+// incrementally), and assembles the exact offline RunReport at the end.
+//
+// Two pacing modes:
+//  - kVirtual replays as fast as the machine allows with the arrival gate
+//    engaged; over the same records and seed the final report is
+//    byte-identical (modulo the telemetry block) to an offline Engine run —
+//    the replay-equivalence contract pinned by tests/test_live_controller.cpp
+//    and scripts/check.sh.
+//  - kWall pins virtual time to the wall clock (scaled by `speedup`),
+//    sleeping between ticks and counting overruns; late records are clamped
+//    forward and decided immediately rather than rejected.
+//
+// Every accepted record carries an ingest wall-clock stamp; the controller
+// turns stamps into the ingest→decision latency distribution (p50/p95/p99)
+// surfaced in LiveStats and the "live.ingest_decision_ns" obs histogram.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "core/scenario.h"
+#include "live/event_source.h"
+#include "live/ingest_queue.h"
+#include "trace/records.h"
+
+namespace insomnia::live {
+
+enum class PaceMode {
+  kVirtual,  ///< as-fast-as-possible gated replay (bit-identical to offline)
+  kWall,     ///< virtual time pinned to the wall clock via `speedup`
+};
+
+/// Compact power-of-two-binned latency distribution. Always on (unlike obs
+/// histograms, which are no-ops unless telemetry is enabled) so livectl can
+/// print p99 in its summary regardless of INSOMNIA_OBS.
+class LatencyTrack {
+ public:
+  void record(std::uint64_t ns) { record_n(ns, 1); }
+  /// Records `n` samples of the same value (ingest stamps are per poll
+  /// batch, so consumed runs share one latency).
+  void record_n(std::uint64_t ns, std::uint64_t n);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_ns() const { return max_ns_; }
+  /// Quantile estimate: the upper edge of the bin holding the q-th sample,
+  /// clamped to the observed [min, max] (a single sample reads back exactly).
+  double quantile_ns(double q) const;
+
+ private:
+  static constexpr int kBins = 48;  ///< bin b covers [2^b, 2^{b+1}) ns
+
+  std::array<std::uint64_t, kBins> bins_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+/// Operational counters for one controller run (the report covers the
+/// simulated day; this covers the machine running it).
+struct LiveStats {
+  std::uint64_t ingested = 0;  ///< records accepted into the queue
+  std::uint64_t dropped = 0;   ///< records shed by kDropNewest
+  std::uint64_t decided = 0;   ///< arrivals dispatched into the data plane
+  std::uint64_t ticks = 0;
+  std::uint64_t tick_overruns = 0;  ///< wall ticks that missed their deadline
+  std::size_t peak_queue_depth = 0;
+  double wall_seconds = 0.0;
+  double virtual_seconds = 0.0;  ///< covered day span (excludes drain)
+  double ingest_events_per_sec = 0.0;
+  std::uint64_t latency_samples = 0;
+  double latency_p50_ns = 0.0;
+  double latency_p95_ns = 0.0;
+  double latency_p99_ns = 0.0;
+  double latency_max_ns = 0.0;
+  bool interrupted = false;  ///< a stop signal ended the run early
+};
+
+struct LiveResult {
+  core::RunReport report;
+  LiveStats stats;
+};
+
+class LiveController {
+ public:
+  struct Options {
+    /// Resolved scenario; `scenario.duration` is the virtual-day horizon the
+    /// controller advances towards (plus drain_time at shutdown).
+    core::ScenarioConfig scenario;
+    /// Report-echo fields — must match the offline RunSpec being compared
+    /// against for the byte-identity gate to hold.
+    std::string preset_name = "paper-default";
+    std::string trace_file;
+    std::string scheme = "bh2-kswitch";
+    std::uint64_t seed = 42;
+    PaceMode pace = PaceMode::kVirtual;
+    double tick_virtual_sec = 300.0;  ///< virtual step per tick (kVirtual)
+    double tick_wall_sec = 0.02;      ///< wall tick period (kWall)
+    double speedup = 1.0;             ///< virtual seconds per wall second (kWall)
+    double max_wall_sec = 0.0;        ///< wall-clock budget; 0 = unbounded
+    std::size_t queue_capacity = 65536;
+    OverflowPolicy overflow = OverflowPolicy::kBackpressure;
+    std::size_t bins = 24;
+    double peak_start = 11.0 * 3600.0;
+    double peak_end = 19.0 * 3600.0;
+    double heartbeat_sec = 0.0;  ///< stderr heartbeat period; 0 = off
+    /// Mirrors every accepted record to a flow-trace file (trace_io format)
+    /// so a live day can be replayed offline.
+    std::string record_path;
+  };
+
+  LiveController(Options options, std::unique_ptr<EventSource> source);
+  ~LiveController();
+
+  LiveController(const LiveController&) = delete;
+  LiveController& operator=(const LiveController&) = delete;
+
+  /// Runs to completion (source exhausted / horizon reached / wall budget
+  /// spent) or until `*stop` becomes true — the SIGINT/SIGTERM drain path:
+  /// queued records still get decisions, the day drains, and the report
+  /// covers the span actually simulated.
+  LiveResult run(const std::atomic<bool>* stop = nullptr);
+
+ private:
+  struct Twins;  ///< paired baseline + scheme runtimes (defined in the .cpp)
+
+  /// Polls the source into the queue (honouring the overflow policy) and
+  /// drains the queue into both twins. Returns records appended.
+  std::size_t ingest(double horizon);
+
+  /// The poll half of ingest(): source -> queue only, no runtime touched —
+  /// safe to run while the twins are stepping. Returns records accepted.
+  std::size_t poll_into_queue(double horizon);
+
+  /// Moves everything queued into both twins (stamps kept FIFO). The
+  /// poll-free half of ingest(); the shutdown path uses it alone so an
+  /// interrupted run never appends arrivals it will not simulate.
+  std::size_t drain_queue();
+
+  /// Steps both twins to `until` (concurrently — they are independent
+  /// simulations), prefetching the source up to `poll_horizon` while they
+  /// run and replenishing whenever the arrival gate starves; marks input
+  /// finished when the source is spent.
+  void advance_to(double until, double poll_horizon, const std::atomic<bool>* stop);
+
+  /// Folds ingest stamps of newly consumed arrivals into the latency track.
+  void account_latency();
+
+  void heartbeat(double virtual_time);
+
+  Options options_;
+  std::unique_ptr<EventSource> source_;
+  std::unique_ptr<Twins> twins_;
+  IngestQueue queue_;
+  trace::FlowTrace scratch_;  ///< poll/pop staging, reused across ticks
+  std::deque<StampRun> inflight_stamps_;
+  LatencyTrack latency_;
+  LiveStats stats_;
+  bool input_done_ = false;
+  std::ofstream record_out_;
+  std::uint64_t wall_start_ns_ = 0;
+  std::uint64_t next_heartbeat_ns_ = 0;
+};
+
+}  // namespace insomnia::live

@@ -1,0 +1,128 @@
+#include "live/socket_source.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace insomnia::live {
+
+namespace {
+
+constexpr std::size_t kChunkBytes = 1 << 16;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  util::require_state(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                      "cannot set socket non-blocking");
+}
+
+}  // namespace
+
+SocketSource::SocketSource(Options options) : options_(std::move(options)) {
+  const bool tcp = options_.tcp_port >= 0;
+  util::require(tcp || !options_.unix_path.empty(),
+                "socket source needs a UNIX path or a TCP port");
+  listen_fd_ = ::socket(tcp ? AF_INET : AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  util::require(listen_fd_ >= 0,
+                std::string("cannot create socket (") + std::strerror(errno) + ")");
+  if (tcp) {
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    util::require(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                  "cannot bind tcp port " + std::to_string(options_.tcp_port) + " (" +
+                      std::strerror(errno) + ")");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    util::require_state(
+        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+        "getsockname failed");
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    util::require(options_.unix_path.size() < sizeof(addr.sun_path),
+                  "unix socket path too long: " + options_.unix_path);
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());  // a stale socket must not wedge a restart
+    util::require(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                  "cannot bind unix socket " + options_.unix_path + " (" +
+                      std::strerror(errno) + ")");
+  }
+  util::require(::listen(listen_fd_, 1) == 0,
+                std::string("cannot listen (") + std::strerror(errno) + ")");
+  set_nonblocking(listen_fd_);
+}
+
+SocketSource::~SocketSource() {
+  if (conn_fd_ >= 0) ::close(conn_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (options_.tcp_port < 0 && !options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+}
+
+std::size_t SocketSource::read_available() {
+  if (conn_fd_ < 0) {
+    conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn_fd_ < 0) return 0;  // nobody connected yet
+    set_nonblocking(conn_fd_);
+  }
+  std::size_t total = 0;
+  while (!peer_closed_) {
+    char buffer[kChunkBytes];
+    const ssize_t n = ::read(conn_fd_, buffer, sizeof(buffer));
+    if (n > 0) {
+      total += static_cast<std::size_t>(n);
+      decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)), pending_);
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed: the stream is complete; flush like end-of-file.
+      peer_closed_ = true;
+      decoder_.finalize(pending_);
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    util::require_state(errno == EINTR, std::string("socket read failed (") +
+                                            std::strerror(errno) + ")");
+  }
+  return total;
+}
+
+std::size_t SocketSource::poll(double /*horizon*/, std::size_t max, trace::FlowTrace& out) {
+  if (!peer_closed_) read_available();
+  std::size_t served = 0;
+  while (served < max && pending_pos_ < pending_.size()) {
+    out.push_back(pending_[pending_pos_++]);
+    ++served;
+  }
+  if (pending_pos_ == pending_.size() && pending_pos_ > 0) {
+    pending_.clear();
+    pending_pos_ = 0;
+  }
+  return served;
+}
+
+bool SocketSource::exhausted() const {
+  return peer_closed_ && pending_pos_ >= pending_.size();
+}
+
+std::string SocketSource::describe() const {
+  return options_.tcp_port >= 0 ? "tcp 127.0.0.1:" + std::to_string(port_)
+                                : "unix " + options_.unix_path;
+}
+
+}  // namespace insomnia::live

@@ -1,0 +1,56 @@
+// Socket EventSource: listens on a UNIX-domain or TCP socket, accepts one
+// producer connection, and decodes the same `start_time,client,bytes` CSV
+// stream the trace files use (header first) via trace::FlowLineDecoder —
+// complete lines only, so a slow or bursty producer can never make the
+// controller observe a torn row. The producer closing its end marks the
+// stream complete (a final unterminated row is flushed, like end-of-file).
+// Everything is non-blocking: poll() returns whatever has arrived.
+#pragma once
+
+#include <string>
+
+#include "live/event_source.h"
+#include "trace/incremental_reader.h"
+
+namespace insomnia::live {
+
+class SocketSource : public EventSource {
+ public:
+  struct Options {
+    /// UNIX-domain listening socket path; mutually exclusive with tcp_port.
+    std::string unix_path;
+    /// TCP listening port on 127.0.0.1 (0 picks an ephemeral port; see
+    /// port()). -1 selects the UNIX path instead.
+    int tcp_port = -1;
+  };
+
+  /// Binds and listens; throws util::InvalidArgument on any socket failure
+  /// (an existing file at unix_path is replaced — stale sockets from a
+  /// killed daemon must not wedge a restart).
+  explicit SocketSource(Options options);
+  ~SocketSource() override;
+
+  SocketSource(const SocketSource&) = delete;
+  SocketSource& operator=(const SocketSource&) = delete;
+
+  std::size_t poll(double horizon, std::size_t max, trace::FlowTrace& out) override;
+  bool exhausted() const override;
+  std::string describe() const override;
+
+  /// The bound TCP port (resolves port 0), or -1 for a UNIX socket.
+  int port() const { return port_; }
+
+ private:
+  std::size_t read_available();
+
+  Options options_;
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  int port_ = -1;
+  bool peer_closed_ = false;
+  trace::FlowLineDecoder decoder_;
+  trace::FlowTrace pending_;
+  std::size_t pending_pos_ = 0;
+};
+
+}  // namespace insomnia::live

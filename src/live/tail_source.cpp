@@ -1,0 +1,85 @@
+#include "live/tail_source.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace insomnia::live {
+
+namespace {
+constexpr std::size_t kChunkBytes = 1 << 16;
+}  // namespace
+
+TailSource::TailSource(Options options) : options_(std::move(options)) {
+  fd_ = ::open(options_.path.c_str(), O_RDONLY | O_CLOEXEC);
+  util::require(fd_ >= 0, "cannot open trace file for tailing: " + options_.path +
+                              " (" + std::strerror(errno) + ")");
+}
+
+TailSource::~TailSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TailSource::stop_following() { options_.follow = false; }
+
+std::size_t TailSource::read_chunk() {
+  struct stat st {};
+  util::require_state(::fstat(fd_, &st) == 0,
+                      "fstat failed while tailing " + options_.path);
+  util::require_state(static_cast<std::uint64_t>(st.st_size) >= consumed_,
+                      "trace file truncated while tailing: " + options_.path);
+  char buffer[kChunkBytes];
+  const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+  util::require_state(n >= 0, "read failed while tailing " + options_.path + " (" +
+                                  std::strerror(errno) + ")");
+  if (n == 0) return 0;
+  consumed_ += static_cast<std::uint64_t>(n);
+  decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)), pending_);
+  return static_cast<std::size_t>(n);
+}
+
+std::size_t TailSource::poll(double /*horizon*/, std::size_t max, trace::FlowTrace& out) {
+  // Drain the file before serving, so `max` bounds what the caller takes
+  // per tick while the decoder stays current with the writer.
+  while (!finalized_) {
+    if (read_chunk() == 0) {
+      // At end-of-file. A growing file may have more later (follow mode);
+      // a one-pass read is complete — flush a final unterminated row, if
+      // any, exactly like read_flow_trace accepts one.
+      if (!options_.follow) {
+        decoder_.finalize(pending_);
+        // read_flow_trace rejects a headerless (e.g. empty) file; the
+        // one-pass tail must agree.
+        util::require(decoder_.header_seen(),
+                      "flow trace must start with a start_time,client,bytes header");
+        finalized_ = true;
+      }
+      break;
+    }
+  }
+  std::size_t served = 0;
+  while (served < max && pending_pos_ < pending_.size()) {
+    out.push_back(pending_[pending_pos_++]);
+    ++served;
+  }
+  if (pending_pos_ == pending_.size() && pending_pos_ > 0) {
+    pending_.clear();
+    pending_pos_ = 0;
+  }
+  return served;
+}
+
+bool TailSource::exhausted() const {
+  return finalized_ && pending_pos_ >= pending_.size();
+}
+
+std::string TailSource::describe() const {
+  return std::string(options_.follow ? "tail -f " : "tail ") + options_.path;
+}
+
+}  // namespace insomnia::live

@@ -1,0 +1,55 @@
+// File-tail EventSource: follows a trace file being written by another
+// process, decoding only complete lines via trace::FlowLineDecoder (a row
+// split across polls is buffered, never torn). One-pass mode (follow=false)
+// reads to end-of-file and stops — the replay path; follow mode keeps
+// polling for growth until stop_following() (e.g. on SIGINT). Truncation —
+// the file shrinking below what was already consumed — is unrecoverable
+// corruption of the stream and refuses loudly.
+#pragma once
+
+#include <string>
+
+#include "live/event_source.h"
+#include "trace/incremental_reader.h"
+
+namespace insomnia::live {
+
+class TailSource : public EventSource {
+ public:
+  struct Options {
+    std::string path;
+    /// Keep polling after end-of-file, waiting for the file to grow. False
+    /// reads one pass and exhausts at the current end.
+    bool follow = false;
+  };
+
+  /// Opens the file; throws util::InvalidArgument when it cannot be read.
+  explicit TailSource(Options options);
+  ~TailSource() override;
+
+  TailSource(const TailSource&) = delete;
+  TailSource& operator=(const TailSource&) = delete;
+
+  std::size_t poll(double horizon, std::size_t max, trace::FlowTrace& out) override;
+  bool exhausted() const override;
+  std::string describe() const override;
+
+  /// Follow mode: stop waiting for growth — the next poll drains what is on
+  /// disk, flushes the decoder, and exhausts.
+  void stop_following();
+
+ private:
+  /// Reads available bytes (up to one chunk) into the decoder; returns the
+  /// byte count, 0 at end-of-file.
+  std::size_t read_chunk();
+
+  Options options_;
+  int fd_ = -1;
+  std::uint64_t consumed_ = 0;  ///< bytes handed to the decoder
+  bool finalized_ = false;
+  trace::FlowLineDecoder decoder_;
+  trace::FlowTrace pending_;     ///< decoded, not yet served
+  std::size_t pending_pos_ = 0;  ///< next unserved record in pending_
+};
+
+}  // namespace insomnia::live

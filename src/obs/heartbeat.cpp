@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "util/duration.h"
 #include "util/strings.h"
 
 namespace insomnia::obs {
@@ -74,8 +75,15 @@ double Heartbeat::interval_from_env(double fallback_sec) {
   const char* value = std::getenv("INSOMNIA_HEARTBEAT");
   if (value == nullptr) return fallback_sec;
   if (std::strcmp(value, "off") == 0) return 0.0;
-  const auto parsed = util::parse_double(value);
-  if (!parsed.has_value() || *parsed < 0.0) return fallback_sec;
+  const auto parsed = util::parse_duration_seconds(value);
+  if (!parsed.has_value()) {
+    // A malformed knob must never kill a long run — warn and keep the
+    // driver's default cadence.
+    std::fprintf(stderr,
+                 "warning: INSOMNIA_HEARTBEAT=\"%s\" ignored — expected \"off\" or %s\n",
+                 value, util::duration_grammar_help());
+    return fallback_sec;
+  }
   return *parsed;
 }
 

@@ -45,8 +45,9 @@ class Heartbeat {
   Heartbeat& operator=(const Heartbeat&) = delete;
 
   /// Seconds between beats from INSOMNIA_HEARTBEAT ("off"/"0" disables,
-  /// unset picks `fallback_sec`). Malformed values fall back too — a typo'd
-  /// heartbeat must never kill a country-scale run.
+  /// unset picks `fallback_sec`). Durations take the shared util grammar
+  /// ("30", "500ms", "2s", "1m"). Malformed values warn on stderr and fall
+  /// back — a typo'd heartbeat must never kill a country-scale run.
   static double interval_from_env(double fallback_sec);
 
  private:

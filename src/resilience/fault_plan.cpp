@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "sim/random.h"
+#include "util/duration.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -27,20 +28,12 @@ double parse_probability(const std::string& entry, std::string_view token) {
 }
 
 double parse_duration_ms(const std::string& entry, std::string_view token) {
-  double scale = 1.0;
-  std::string_view digits = token;
-  if (digits.size() >= 2 && digits.substr(digits.size() - 2) == "ms") {
-    digits.remove_suffix(2);
-  } else if (!digits.empty() && digits.back() == 's') {
-    digits.remove_suffix(1);
-    scale = 1000.0;
-  }
-  const auto value = util::parse_double(digits);
-  util::require(value.has_value() && *value >= 0.0,
-                "fault-spec entry \"" + entry +
-                    "\": duration must be a non-negative number with an optional "
-                    "\"ms\" or \"s\" suffix (e.g. \"500ms\", \"2s\")");
-  return *value * scale;
+  const auto seconds =
+      util::parse_duration_seconds(token, util::DurationUnit::kMilliseconds);
+  util::require(seconds.has_value(), "fault-spec entry \"" + entry +
+                                         "\": duration must be " +
+                                         util::duration_grammar_help());
+  return *seconds * 1000.0;
 }
 
 FaultPlan plan_from_env() {
@@ -121,6 +114,32 @@ FaultPlan parse_fault_plan(std::string_view spec) {
     }
   }
   return plan;
+}
+
+std::string fault_spec_help() {
+  return std::string(
+             "fault-spec grammar: entry (\",\" entry)* with entry := key=value\n"
+             "  value is a probability in [0, 1]; slow-shard also takes\n"
+             "  probability:duration where duration is ") +
+         util::duration_grammar_help() +
+         ".\n"
+         "\n"
+         "keys:\n"
+         "  shard-throw    p       a city shard attempt throws (retries re-draw)\n"
+         "  slow-shard     p[:dur] a shard attempt sleeps for dur first "
+         "(default 100ms)\n"
+         "  child-kill     p       a --procs worker SIGKILLs itself after its "
+         "first checkpoint flush\n"
+         "  ckpt-torn      p       a checkpoint flush leaves a torn .tmp beside "
+         "the last good file\n"
+         "  ckpt-short     p       the committed checkpoint file is truncated\n"
+         "  ckpt-flip      p       one bit of the committed checkpoint file is "
+         "flipped\n"
+         "  trace-garble   p       a flow-trace data row fails to parse\n"
+         "  seed           uint64  keys sites with no run seed of their own\n"
+         "\n"
+         "e.g. --fault-spec \"shard-throw=0.01,slow-shard=0.02:500ms,"
+         "child-kill=0.05\"\n";
 }
 
 const FaultPlan& global_fault_plan() { return global_slot(); }

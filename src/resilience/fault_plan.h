@@ -92,6 +92,10 @@ struct FaultPlan {
 /// malformed duration; an empty spec is the empty plan.
 FaultPlan parse_fault_plan(std::string_view spec);
 
+/// The spec grammar and every valid key with a one-line description —
+/// what the fleet drivers print for --list-faults.
+std::string fault_spec_help();
+
 /// The process-wide plan: parsed once from INSOMNIA_FAULTS (empty plan when
 /// unset). Deep layers with no plumbing of their own (trace parsing)
 /// consult this; the fleet drivers overwrite it from --fault-spec so every

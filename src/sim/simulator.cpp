@@ -49,6 +49,15 @@ bool Simulator::flush_if_pending() {
 }
 
 void Simulator::run_until(double end_time, EventStream* stream) {
+  run_loop(end_time, stream, /*gated=*/false);
+}
+
+bool Simulator::run_until_gated(double end_time, EventStream* stream) {
+  util::require(stream != nullptr, "Simulator::run_until_gated needs a stream");
+  return run_loop(end_time, stream, /*gated=*/true);
+}
+
+bool Simulator::run_loop(double end_time, EventStream* stream, bool gated) {
   util::require(end_time >= now_, "Simulator::run_until cannot rewind the clock");
   OBS_SCOPE("sim.run_until");
   const std::uint64_t executed_before = executed_;
@@ -73,6 +82,15 @@ void Simulator::run_until(double end_time, EventStream* stream) {
     // the clock moves. Flushing may schedule events earlier than t (but
     // always after now()), so re-evaluate what fires next.
     if (t > now_ && flush_if_pending()) continue;
+    // The gate sits at the point of no return: everything that would run
+    // before the head (including the flush barrier above) has run, the head
+    // was about to fire. Pausing here leaves the clock at the last
+    // dispatched instant, so a resumed loop continues exactly where an
+    // ungated one would have been.
+    if (gated && stream_first && !stream->ready()) {
+      record_executed_delta(executed_ - executed_before);
+      return false;
+    }
     // Advance the clock before dispatching so the callback observes now()
     // equal to its own firing time.
     now_ = t;
@@ -85,6 +103,7 @@ void Simulator::run_until(double end_time, EventStream* stream) {
   }
   now_ = end_time;
   record_executed_delta(executed_ - executed_before);
+  return true;
 }
 
 void Simulator::run_to_completion() {

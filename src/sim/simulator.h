@@ -28,6 +28,15 @@ class EventStream {
 
   /// Fires the head event and advances the stream.
   virtual void fire() = 0;
+
+  /// Gate consulted by run_until_gated at the instant the head would fire:
+  /// false pauses the run loop so the producer can extend the stream first.
+  /// Live replay uses this to hold the last buffered arrival back until its
+  /// successor is known — the successor's FIFO rank is claimed while the
+  /// head is processed, so firing early would claim it at a later point in
+  /// the event order than an offline replay would (run_until ignores the
+  /// gate). Default: always ready.
+  virtual bool ready() const { return true; }
 };
 
 /// A deferred-work barrier. A component that batches same-instant work (the
@@ -84,6 +93,15 @@ class Simulator {
   /// nullptr) in exact (time, rank) order with the queued ones.
   void run_until(double end_time, EventStream* stream);
 
+  /// As run_until(end_time, stream), but pauses when the next event to fire
+  /// is the stream head and stream->ready() is false: returns false with the
+  /// clock still at the last dispatched instant (it does NOT jump to
+  /// end_time) so the caller can extend the stream and resume. Returns true
+  /// once end_time is reached. A sequence of gated calls that always resumes
+  /// executes exactly the events a single run_until would, in the same
+  /// order.
+  bool run_until_gated(double end_time, EventStream* stream);
+
   /// Consumes the next FIFO rank for an EventStream head (see EventStream).
   std::uint64_t allocate_sequence() { return queue_.allocate_sequence(); }
 
@@ -111,6 +129,9 @@ class Simulator {
   /// Runs the hook's flush() if one is pending; returns true if it ran (the
   /// run loop must then re-evaluate what fires next).
   bool flush_if_pending();
+
+  /// Shared body of run_until / run_until_gated (see the latter's contract).
+  bool run_loop(double end_time, EventStream* stream, bool gated);
 
   EventQueue queue_;
   double now_;

@@ -33,6 +33,34 @@ double parse_field(const std::string& field) {
 
 }  // namespace
 
+FlowRecord parse_flow_row(const std::vector<std::string>& fields,
+                          std::size_t row_index, double last_time) {
+  // Chaos hook: a trace-garble plan makes random rows "unparseable" without
+  // needing a corrupted fixture file — same loud rejection path as real
+  // corruption, keyed on the row index so the failing rows are stable.
+  const resilience::FaultPlan& faults = resilience::global_fault_plan();
+  if (resilience::fault_fires(faults.trace_garble, faults.seed, row_index,
+                              resilience::kTraceGarbleSalt)) {
+    resilience::count_injected("trace_garble");
+    throw util::InvalidArgument("injected trace fault at data row " +
+                                std::to_string(row_index));
+  }
+  util::require(fields.size() == 3, "flow trace row must have 3 fields");
+  FlowRecord record;
+  record.start_time = parse_field(fields[0]);
+  const double client = parse_field(fields[1]);
+  // Range-check before the cast: converting an out-of-int-range double is
+  // undefined behaviour, not a catchable error.
+  util::require(client >= 0.0 && client <= std::numeric_limits<int>::max() &&
+                    client == std::floor(client),
+                "flow trace client must be a non-negative integer");
+  record.client = static_cast<int>(client);
+  record.bytes = parse_field(fields[2]);
+  util::require(record.start_time >= last_time, "flow trace must be sorted by time");
+  util::require(record.bytes >= 0.0, "flow bytes must be non-negative");
+  return record;
+}
+
 FlowTrace read_flow_trace(std::istream& in) {
   const util::CsvDocument doc = util::parse_csv(in, /*has_header=*/true);
   // An empty stream or one that jumps straight into data rows is missing the
@@ -42,33 +70,9 @@ FlowTrace read_flow_trace(std::istream& in) {
   FlowTrace flows;
   flows.reserve(doc.rows.size());
   double last_time = -1.0;
-  // Chaos hook: a trace-garble plan makes random rows "unparseable" without
-  // needing a corrupted fixture file — same loud rejection path as real
-  // corruption, keyed on the row index so the failing rows are stable.
-  const resilience::FaultPlan& faults = resilience::global_fault_plan();
   for (std::size_t r = 0; r < doc.rows.size(); ++r) {
-    const auto& row = doc.rows[r];
-    if (resilience::fault_fires(faults.trace_garble, faults.seed, r,
-                                resilience::kTraceGarbleSalt)) {
-      resilience::count_injected("trace_garble");
-      throw util::InvalidArgument("injected trace fault at data row " +
-                                  std::to_string(r));
-    }
-    util::require(row.size() == 3, "flow trace row must have 3 fields");
-    FlowRecord record;
-    record.start_time = parse_field(row[0]);
-    const double client = parse_field(row[1]);
-    // Range-check before the cast: converting an out-of-int-range double is
-    // undefined behaviour, not a catchable error.
-    util::require(client >= 0.0 && client <= std::numeric_limits<int>::max() &&
-                      client == std::floor(client),
-                  "flow trace client must be a non-negative integer");
-    record.client = static_cast<int>(client);
-    record.bytes = parse_field(row[2]);
-    util::require(record.start_time >= last_time, "flow trace must be sorted by time");
-    util::require(record.bytes >= 0.0, "flow bytes must be non-negative");
-    last_time = record.start_time;
-    flows.push_back(record);
+    flows.push_back(parse_flow_row(doc.rows[r], r, last_time));
+    last_time = flows.back().start_time;
   }
   return flows;
 }

@@ -1,0 +1,184 @@
+// The streaming controller's correctness anchor: a virtual-time live run
+// over the same records and seed produces a RunReport byte-identical to the
+// offline Engine (modulo the telemetry block, which to_json(false) omits) —
+// regardless of tick size or queue capacity. Plus the latency track's
+// quantile arithmetic, option validation, and the wall-pace smoke path.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/scenario.h"
+#include "live/event_source.h"
+#include "live/live_controller.h"
+#include "live/tail_source.h"
+#include "util/error.h"
+
+namespace insomnia::live {
+namespace {
+
+core::ScenarioConfig small_scenario() {
+  core::ScenarioConfig scenario;
+  scenario.client_count = 48;
+  scenario.gateway_count = 8;
+  scenario.degrees.node_count = 8;
+  scenario.degrees.mean_degree = 4.0;
+  scenario.traffic.client_count = 48;
+  scenario.dslam.line_cards = 4;
+  scenario.dslam.ports_per_card = 2;
+  return scenario;
+}
+
+LiveController::Options live_options() {
+  LiveController::Options options;
+  options.scenario = small_scenario();
+  options.preset_name = "(inline)";  // Engine's echo for inline scenarios
+  options.scheme = "bh2-kswitch";
+  options.seed = 42;
+  options.bins = 8;
+  return options;
+}
+
+core::RunSpec offline_spec() {
+  core::RunSpec spec;
+  spec.scenario = small_scenario();
+  spec.scheme = "bh2-kswitch";
+  spec.seed = 42;
+  spec.runs = 1;
+  spec.bins = 8;
+  return spec;
+}
+
+std::unique_ptr<GeneratorSource> make_generator(const LiveController::Options& options) {
+  return std::make_unique<GeneratorSource>(options.scenario.traffic, options.seed,
+                                           /*days=*/1);
+}
+
+TEST(LiveController, VirtualReplayIsByteIdenticalToTheOfflineEngine) {
+  const std::string offline = core::Engine().run(offline_spec()).to_json(false);
+
+  LiveController::Options options = live_options();
+  LiveController controller(options, make_generator(options));
+  const LiveResult result = controller.run();
+
+  EXPECT_EQ(result.report.to_json(false), offline);
+  EXPECT_EQ(result.stats.dropped, 0u);
+  EXPECT_EQ(result.stats.ingested, result.stats.decided);
+  EXPECT_GT(result.stats.latency_samples, 0u);
+  EXPECT_FALSE(result.stats.interrupted);
+}
+
+TEST(LiveController, TickSizeAndQueueCapacityDoNotChangeTheReport) {
+  LiveController::Options base = live_options();
+  LiveController controller_a(base, make_generator(base));
+  const std::string reference = controller_a.run().report.to_json(false);
+
+  LiveController::Options coarse = live_options();
+  coarse.tick_virtual_sec = 7200.0;
+  LiveController controller_b(coarse, make_generator(coarse));
+  EXPECT_EQ(controller_b.run().report.to_json(false), reference);
+
+  LiveController::Options tiny_queue = live_options();
+  tiny_queue.queue_capacity = 64;  // backpressure throttles the poll, only
+  LiveController controller_c(tiny_queue, make_generator(tiny_queue));
+  EXPECT_EQ(controller_c.run().report.to_json(false), reference);
+}
+
+TEST(LiveController, RecordedLiveDayReplaysIdenticallyThroughTailAndEngine) {
+  const std::string trace_path = ::testing::TempDir() + "live_recorded.trace";
+  std::remove(trace_path.c_str());
+
+  LiveController::Options recording = live_options();
+  recording.record_path = trace_path;
+  LiveController recorder(recording, make_generator(recording));
+  recorder.run();
+
+  // Offline engine replaying the recorded file...
+  core::RunSpec spec = offline_spec();
+  spec.trace_file = trace_path;
+  const std::string offline = core::Engine().run(spec).to_json(false);
+
+  // ...must match a live tail replay of the same file.
+  LiveController::Options tailing = live_options();
+  tailing.trace_file = trace_path;  // echo parity with RunSpec.trace_file
+  LiveController tailer(tailing,
+                        std::make_unique<TailSource>(TailSource::Options{trace_path, false}));
+  EXPECT_EQ(tailer.run().report.to_json(false), offline);
+  std::remove(trace_path.c_str());
+}
+
+TEST(LiveController, WallPaceDrainsTheWholeDayAtHighSpeedup) {
+  LiveController::Options options = live_options();
+  options.pace = PaceMode::kWall;
+  options.tick_wall_sec = 0.005;
+  options.speedup = 86400.0 / 0.05;  // whole day in ~50 ms of wall time
+  LiveController controller(options, make_generator(options));
+  const LiveResult result = controller.run();
+
+  ASSERT_EQ(result.report.days.size(), 1u);
+  EXPECT_EQ(result.stats.ingested, result.stats.decided);
+  EXPECT_DOUBLE_EQ(result.stats.virtual_seconds, 86400.0);
+  EXPECT_GE(result.stats.ticks, 1u);
+}
+
+TEST(LiveController, WallBudgetStopsAVirtualReplayEarlyAndStillDrains) {
+  LiveController::Options options = live_options();
+  options.max_wall_sec = 1e-6;  // expires after the first tick
+  LiveController controller(options, make_generator(options));
+  const LiveResult result = controller.run();
+
+  ASSERT_EQ(result.report.days.size(), 1u);
+  EXPECT_LT(result.stats.virtual_seconds, 86400.0);
+  EXPECT_EQ(result.stats.ingested, result.stats.decided);  // no orphaned records
+}
+
+TEST(LiveController, StopSignalProducesACoveredPartialReport) {
+  LiveController::Options options = live_options();
+  std::atomic<bool> stop{false};
+  LiveController controller(options, make_generator(options));
+  stop.store(true);  // pre-set: the run notices at its first tick boundary
+  const LiveResult result = controller.run(&stop);
+  EXPECT_TRUE(result.stats.interrupted);
+  ASSERT_EQ(result.report.days.size(), 1u);
+  EXPECT_EQ(result.stats.ingested, result.stats.decided);
+}
+
+TEST(LiveControllerValidation, DropSheddingRequiresWallPacing) {
+  LiveController::Options options = live_options();
+  options.overflow = OverflowPolicy::kDropNewest;  // pace stays kVirtual
+  EXPECT_THROW(LiveController(options, make_generator(options)),
+               util::InvalidArgument);
+}
+
+TEST(LiveControllerValidation, RunIsOnce) {
+  LiveController::Options options = live_options();
+  LiveController controller(options, make_generator(options));
+  controller.run();
+  EXPECT_THROW(controller.run(), util::InvalidState);
+}
+
+TEST(LatencyTrack, SingleSampleReadsBackExactly) {
+  LatencyTrack track;
+  track.record(5000);
+  EXPECT_EQ(track.count(), 1u);
+  EXPECT_DOUBLE_EQ(track.quantile_ns(0.5), 5000.0);
+  EXPECT_DOUBLE_EQ(track.quantile_ns(0.99), 5000.0);
+  EXPECT_EQ(track.max_ns(), 5000u);
+}
+
+TEST(LatencyTrack, QuantilesLandInTheRightBins) {
+  LatencyTrack track;
+  track.record_n(1000, 90);      // bin [512, 1024)
+  track.record_n(1000000, 10);   // bin [2^19, 2^20)
+  EXPECT_EQ(track.count(), 100u);
+  EXPECT_DOUBLE_EQ(track.quantile_ns(0.50), 1024.0);
+  EXPECT_DOUBLE_EQ(track.quantile_ns(0.90), 1024.0);
+  EXPECT_DOUBLE_EQ(track.quantile_ns(0.99), 1000000.0);  // clamped to max
+  EXPECT_EQ(track.max_ns(), 1000000u);
+}
+
+}  // namespace
+}  // namespace insomnia::live

@@ -1,0 +1,119 @@
+// The bounded ingest buffer (live/ingest_queue.h): FIFO order, the two
+// overflow policies, and the run-length stamp bookkeeping the controller's
+// latency accounting depends on (a lost or reordered stamp would corrupt
+// the ingest→decision histogram silently).
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "live/ingest_queue.h"
+#include "trace/records.h"
+#include "util/error.h"
+
+namespace insomnia::live {
+namespace {
+
+trace::FlowTrace make_records(int n, double t0 = 0.0) {
+  trace::FlowTrace records;
+  for (int i = 0; i < n; ++i) {
+    records.push_back({t0 + static_cast<double>(i), i % 7, 1000.0 + i});
+  }
+  return records;
+}
+
+TEST(IngestQueue, FifoAcrossBatches) {
+  IngestQueue queue(16, OverflowPolicy::kBackpressure);
+  const trace::FlowTrace a = make_records(3, 0.0);
+  const trace::FlowTrace b = make_records(2, 10.0);
+  EXPECT_EQ(queue.push_batch(a.data(), a.size(), 100), 3u);
+  EXPECT_EQ(queue.push_batch(b.data(), b.size(), 200), 2u);
+  EXPECT_EQ(queue.size(), 5u);
+
+  trace::FlowTrace out;
+  std::deque<StampRun> stamps;
+  EXPECT_EQ(queue.pop(100, out, stamps), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(out[2].start_time, 2.0);
+  EXPECT_DOUBLE_EQ(out[3].start_time, 10.0);
+  EXPECT_DOUBLE_EQ(out[4].start_time, 11.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(IngestQueue, StampRunsFollowTheirRecords) {
+  IngestQueue queue(16, OverflowPolicy::kBackpressure);
+  const trace::FlowTrace batch = make_records(4);
+  queue.push_batch(batch.data(), 3, 111);
+  queue.push_batch(batch.data() + 3, 1, 222);
+
+  trace::FlowTrace out;
+  std::deque<StampRun> stamps;
+  // Pop straddling the run boundary: 2 of the first run...
+  EXPECT_EQ(queue.pop(2, out, stamps), 2u);
+  ASSERT_EQ(stamps.size(), 1u);
+  EXPECT_EQ(stamps[0].stamp_ns, 111u);
+  EXPECT_EQ(stamps[0].count, 2u);
+  // ...then the rest: the leftover of run 1 merges into the caller's tail
+  // run (same stamp), run 2 starts fresh.
+  EXPECT_EQ(queue.pop(2, out, stamps), 2u);
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_EQ(stamps[0].stamp_ns, 111u);
+  EXPECT_EQ(stamps[0].count, 3u);
+  EXPECT_EQ(stamps[1].stamp_ns, 222u);
+  EXPECT_EQ(stamps[1].count, 1u);
+}
+
+TEST(IngestQueue, SameStampBatchesMergeIntoOneRun) {
+  IngestQueue queue(16, OverflowPolicy::kBackpressure);
+  const trace::FlowTrace batch = make_records(4);
+  queue.push_batch(batch.data(), 2, 999);
+  queue.push_batch(batch.data() + 2, 2, 999);
+
+  trace::FlowTrace out;
+  std::deque<StampRun> stamps;
+  EXPECT_EQ(queue.pop(4, out, stamps), 4u);
+  ASSERT_EQ(stamps.size(), 1u);
+  EXPECT_EQ(stamps[0].count, 4u);
+}
+
+TEST(IngestQueue, DropNewestShedsTheTailAndCounts) {
+  IngestQueue queue(3, OverflowPolicy::kDropNewest);
+  const trace::FlowTrace batch = make_records(5);
+  EXPECT_EQ(queue.push_batch(batch.data(), batch.size(), 42), 3u);
+  EXPECT_EQ(queue.accepted(), 3u);
+  EXPECT_EQ(queue.dropped(), 2u);
+  EXPECT_EQ(queue.free_slots(), 0u);
+
+  trace::FlowTrace out;
+  std::deque<StampRun> stamps;
+  EXPECT_EQ(queue.pop(10, out, stamps), 3u);
+  // The accepted records are exactly the batch HEAD, in order.
+  EXPECT_DOUBLE_EQ(out[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(out[2].start_time, 2.0);
+  EXPECT_EQ(queue.dropped(), 2u);
+}
+
+TEST(IngestQueue, BackpressureOverfillIsACallerBug) {
+  IngestQueue queue(2, OverflowPolicy::kBackpressure);
+  const trace::FlowTrace batch = make_records(3);
+  EXPECT_THROW(queue.push_batch(batch.data(), batch.size(), 42), util::InvalidState);
+}
+
+TEST(IngestQueue, TracksPeakDepthAcrossPopCycles) {
+  IngestQueue queue(8, OverflowPolicy::kBackpressure);
+  const trace::FlowTrace batch = make_records(8);
+  queue.push_batch(batch.data(), 5, 1);
+  trace::FlowTrace out;
+  std::deque<StampRun> stamps;
+  queue.pop(5, out, stamps);
+  queue.push_batch(batch.data(), 2, 2);
+  EXPECT_EQ(queue.peak_depth(), 5u);
+  EXPECT_EQ(queue.accepted(), 7u);
+}
+
+TEST(IngestQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(IngestQueue(0, OverflowPolicy::kBackpressure), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace insomnia::live
